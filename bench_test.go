@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkTableN / BenchmarkFigureN runs the corresponding experiment
+// and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows/series the paper reports (see EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison). Wall-clock benchmarks of the real
+// engines follow at the bottom.
+package microrec_test
+
+import (
+	"testing"
+
+	"microrec"
+	"microrec/internal/experiments"
+)
+
+var sinkTables interface{}
+
+// benchExperiment runs one experiment repeatedly and keeps the result alive.
+func benchExperiment(b *testing.B, name string, items int) {
+	b.Helper()
+	r, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Items: items, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := r.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTables = tables
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (embedding-layer share of CPU
+// inference latency).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3", 1000) }
+
+// BenchmarkTable2 regenerates Table 2 (end-to-end inference, CPU vs MicroRec)
+// and reports the small-model fp16 headline numbers as custom metrics.
+func BenchmarkTable2(b *testing.B) {
+	sum, err := experiments.Table2Summary(experiments.Options{Items: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	small := sum["production-small"][16]
+	b.ReportMetric(small.FPGAItemsPerS, "items/s")
+	b.ReportMetric(small.FPGALatencyUS, "µs/item")
+	b.ReportMetric(small.Speedup[2048], "speedup@B2048")
+	benchExperiment(b, "table2", 2000)
+}
+
+// BenchmarkTable3 regenerates Table 3 (Cartesian benefit/overhead).
+func BenchmarkTable3(b *testing.B) {
+	rows, err := experiments.Table3Rows(experiments.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Model == "production-small" && r.Cartesian {
+			b.ReportMetric(r.LatencyPct, "latency%small")
+			b.ReportMetric(r.StoragePct, "storage%small")
+		}
+	}
+	benchExperiment(b, "table3", 1000)
+}
+
+// BenchmarkTable4 regenerates Table 4 (embedding-layer lookup performance)
+// and reports the headline 13.8x-class speedup.
+func BenchmarkTable4(b *testing.B) {
+	res, err := experiments.Table4Results(experiments.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Model == "production-small" {
+			b.ReportMetric(r.Speedup["hbm+cartesian"][2048], "speedup@B2048")
+			b.ReportMetric(r.CartesianNS, "lookup-ns")
+		}
+	}
+	benchExperiment(b, "table4", 1000)
+}
+
+// BenchmarkTable5 regenerates Table 5 (Facebook DLRM-RMC2 lookup speedups).
+func BenchmarkTable5(b *testing.B) {
+	cells, err := experiments.Table5Cells(experiments.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(cells[0].Speedup, "best-speedup")
+	b.ReportMetric(cells[len(cells)-1].Speedup, "worst-speedup")
+	benchExperiment(b, "table5", 1000)
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (throughput vs lookup rounds).
+func BenchmarkFigure7(b *testing.B) {
+	points, err := experiments.Figure7Series(experiments.Options{Items: 2000}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp := experiments.Figure7Breakpoint(points)
+	b.ReportMetric(float64(bp["production-small"]), "rounds-small")
+	b.ReportMetric(float64(bp["production-large"]), "rounds-large")
+	benchExperiment(b, "fig7", 2000)
+}
+
+// BenchmarkTable6 regenerates Table 6 (FPGA resource utilisation).
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6", 1000) }
+
+// BenchmarkAppendixAXI regenerates the appendix AXI-width trade-off.
+func BenchmarkAppendixAXI(b *testing.B) { benchExperiment(b, "axi", 1000) }
+
+// BenchmarkAppendixCost regenerates the appendix cost comparison.
+func BenchmarkAppendixCost(b *testing.B) { benchExperiment(b, "cost", 1000) }
+
+// BenchmarkAblationAllocator regenerates ablation A1 (allocation strategies,
+// heuristic optimality).
+func BenchmarkAblationAllocator(b *testing.B) { benchExperiment(b, "allocator", 1000) }
+
+// BenchmarkAblationQuant regenerates ablation A2 (fixed-point error).
+func BenchmarkAblationQuant(b *testing.B) { benchExperiment(b, "quant", 1000) }
+
+// ---- Wall-clock benchmarks of the real engines ----
+
+// BenchmarkEngineInferOne measures the functional fixed-point datapath on
+// one query of the small production model.
+func BenchmarkEngineInferOne(b *testing.B) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := gen.Next()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.InferOne(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUEngineBatch measures the real CPU baseline at the paper's
+// favoured batch size geometry (batch 256 keeps the benchmark fast while
+// exercising the same code path as 2048).
+func BenchmarkCPUEngineBatch(b *testing.B) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewCPUEngine(spec, 1, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := gen.Batch(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds, err := eng.InferBatch(qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(preds) != 256 {
+			b.Fatal("short batch")
+		}
+	}
+	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkPlannerSmall measures Algorithm 1 on the 47-table model.
+func BenchmarkPlannerSmall(b *testing.B) {
+	spec := microrec.SmallProductionModel()
+	sys := microrec.U280(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microrec.PlanModel(spec, sys, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerLarge measures Algorithm 1 on the 98-table model.
+func BenchmarkPlannerLarge(b *testing.B) {
+	spec := microrec.LargeProductionModel()
+	sys := microrec.U280(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microrec.PlanModel(spec, sys, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command microrec is the CLI for the MicroRec reproduction: it regenerates
+// the paper's tables and figures, inspects placement plans, runs ad-hoc
+// inference, and serves predictions over HTTP.
+//
+// Usage:
+//
+//	microrec exp <name|all> [-items N] [-csv]     regenerate tables/figures
+//	microrec plan -model small|large [...]        run the placement search
+//	microrec infer -model small -n 16 [...]       run the engine on queries
+//	microrec serve -addr :8080 -model small       HTTP inference server
+//	microrec list                                 list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "microrec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command given")
+	}
+	switch args[0] {
+	case "exp":
+		return cmdExp(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
+	case "infer":
+		return cmdInfer(args[1:])
+	case "spec":
+		return cmdSpec(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "list":
+		return cmdList()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `microrec - MicroRec (MLSys'21) reproduction
+
+commands:
+  exp <name|all>   regenerate a paper table/figure (see 'microrec list')
+  plan             run the table-combination + allocation search
+  infer            run the accelerator engine on synthetic queries
+  serve            start an HTTP inference server
+  trace            export a chrome://tracing pipeline trace
+  spec             print a model specification
+  list             list available experiments
+
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

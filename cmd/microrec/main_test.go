@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"microrec"
+)
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args: want error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command: want error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestCmdExpSingle(t *testing.T) {
+	if err := run([]string{"exp", "table5", "-items", "500"}); err != nil {
+		t.Errorf("exp table5: %v", err)
+	}
+	if err := run([]string{"exp", "nope"}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+	if err := run([]string{"exp"}); err == nil {
+		t.Error("missing experiment: want error")
+	}
+	if err := run([]string{"exp", "table3", "-csv"}); err != nil {
+		t.Errorf("exp table3 -csv: %v", err)
+	}
+}
+
+func TestCmdPlan(t *testing.T) {
+	if err := run([]string{"plan", "-model", "small"}); err != nil {
+		t.Errorf("plan small: %v", err)
+	}
+	if err := run([]string{"plan", "-model", "small", "-no-cartesian", "-v"}); err != nil {
+		t.Errorf("plan -no-cartesian -v: %v", err)
+	}
+	if err := run([]string{"plan", "-model", "bogus"}); err == nil {
+		t.Error("unknown model: want error")
+	}
+}
+
+func TestCmdInfer(t *testing.T) {
+	if err := run([]string{"infer", "-model", "small", "-n", "2"}); err != nil {
+		t.Errorf("infer: %v", err)
+	}
+	if err := run([]string{"infer", "-model", "small", "-n", "2", "-fp32", "-zipf"}); err != nil {
+		t.Errorf("infer fp32 zipf: %v", err)
+	}
+}
+
+func TestCmdSpec(t *testing.T) {
+	if err := run([]string{"spec", "-model", "small"}); err != nil {
+		t.Errorf("spec: %v", err)
+	}
+	if err := run([]string{"spec", "-model", "large", "-json"}); err != nil {
+		t.Errorf("spec -json: %v", err)
+	}
+	if err := run([]string{"spec", "-model", "nope"}); err == nil {
+		t.Error("bad model: want error")
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	out := t.TempDir() + "/trace.json"
+	if err := run([]string{"trace", "-items", "4", "-o", out}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	// 4 items x 12 stages (lookup + 3x(bcast,gemm,gather) + output + sigmoid).
+	if len(events) != 4*12 {
+		t.Errorf("trace has %d events, want 48", len(events))
+	}
+	if err := run([]string{"trace", "-model", "bogus"}); err == nil {
+		t.Error("bad model: want error")
+	}
+}
+
+func TestServeMux(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newServeMux(eng)
+
+	// Health check.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("/healthz = %d", rec.Code)
+	}
+
+	// Model info.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/model", nil))
+	var info modelInfoResponse
+	if err := json.NewDecoder(rec.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Tables != 47 || info.FeatureLen != 352 {
+		t.Errorf("/model = %+v", info)
+	}
+
+	// Prediction.
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gen.Next()
+	body, err := json.Marshal(predictRequest{Indices: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(string(body))))
+	if rec.Code != 200 {
+		t.Fatalf("/predict = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp predictResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CTR < 0 || resp.CTR > 1 {
+		t.Errorf("CTR = %v", resp.CTR)
+	}
+	if resp.ModeledLatencyUS <= 0 {
+		t.Errorf("modeled latency = %v", resp.ModeledLatencyUS)
+	}
+
+	// Error paths.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/predict", nil))
+	if rec.Code != 405 {
+		t.Errorf("GET /predict = %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader("{bad json")))
+	if rec.Code != 400 {
+		t.Errorf("bad json = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(`{"indices":[[0]]}`)))
+	if rec.Code != 400 {
+		t.Errorf("short query = %d, want 400", rec.Code)
+	}
+}

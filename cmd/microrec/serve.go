@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"microrec"
+)
+
+// predictRequest is the JSON body of POST /predict: per-table lookup indices.
+type predictRequest struct {
+	// Indices[t] lists the row indices for table t, in model order.
+	Indices [][]int64 `json:"indices"`
+}
+
+type predictResponse struct {
+	CTR float64 `json:"ctr"`
+	// ModeledLatencyUS is the accelerator's modeled single-item latency.
+	ModeledLatencyUS float64 `json:"modeled_latency_us"`
+	// WallTimeUS is the actual server-side compute time.
+	WallTimeUS float64 `json:"wall_time_us"`
+}
+
+type modelInfoResponse struct {
+	Name       string `json:"name"`
+	Tables     int    `json:"tables"`
+	FeatureLen int    `json:"feature_len"`
+	Precision  int    `json:"precision_bits"`
+	LookupNS   int64  `json:"lookup_ns"`
+}
+
+// newServeMux builds the HTTP API around an engine (split out for tests).
+func newServeMux(eng *microrec.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	spec := eng.Spec()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		q := make(microrec.Query, len(req.Indices))
+		for i := range req.Indices {
+			q[i] = req.Indices[i]
+		}
+		start := time.Now()
+		ctr, err := eng.InferOne(q)
+		if err != nil {
+			http.Error(w, "inference: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := eng.Timing(1)
+		if err != nil {
+			http.Error(w, "timing: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, predictResponse{
+			CTR:              float64(ctr),
+			ModeledLatencyUS: rep.LatencyNS / 1e3,
+			WallTimeUS:       float64(time.Since(start).Microseconds()),
+		})
+	})
+	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, modelInfoResponse{
+			Name:       spec.Name,
+			Tables:     len(spec.Tables),
+			FeatureLen: spec.FeatureLen(),
+			Precision:  eng.Config().Precision.Bits,
+			LookupNS:   int64(eng.LookupNS()),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode: %v", err)
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", ":8080", "listen address")
+	modelName := fs.String("model", "small", "model: small or large")
+	fp32 := fs.Bool("fp32", false, "use the 32-bit datapath")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, _, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	opts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096}
+	if *fp32 {
+		opts.Precision = microrec.Fixed32
+	}
+	eng, err := microrec.NewEngine(spec, opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s (%d-bit) on %s — POST /predict, GET /model, GET /healthz",
+		spec.Name, eng.Config().Precision.Bits, *addr)
+	return http.ListenAndServe(*addr, newServeMux(eng))
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"microrec"
+)
+
+func cmdTrace(args []string) error {
+	fs := newFlagSet("trace")
+	modelName := fs.String("model", "small", "model: small or large")
+	items := fs.Int("items", 32, "items to trace")
+	out := fs.String("o", "trace.json", "output file (chrome://tracing JSON)")
+	fp32 := fs.Bool("fp32", false, "use the 32-bit datapath")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, _, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	opts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64}
+	if *fp32 {
+		opts.Precision = microrec.Fixed32
+	}
+	eng, err := microrec.NewEngine(spec, opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	rep, traceErr := eng.TracePipeline(*items, f)
+	if closeErr := f.Close(); traceErr == nil {
+		traceErr = closeErr
+	}
+	if traceErr != nil {
+		return traceErr
+	}
+	fmt.Printf("wrote %s: %d items, makespan %.1f µs, bottleneck %s\n",
+		*out, rep.Items, rep.MakespanNS/1e3, rep.BottleneckStage)
+	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
+	return nil
+}

@@ -1,0 +1,59 @@
+// DLRM study: run the Facebook recommendation-benchmark comparison (Table 5)
+// and demonstrate inference on a DLRM-RMC2-class model, whose tables are each
+// looked up four times per inference.
+//
+// Run with: go run ./examples/dlrm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microrec"
+	"microrec/internal/experiments"
+)
+
+func main() {
+	// Part 1: the Table 5 sweep — lookup latency and speedup vs the
+	// published Facebook baseline across table counts and embedding dims.
+	r, err := experiments.Find("table5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := r.Run(experiments.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+
+	// Part 2: functional inference on one DLRM-RMC2 instance. Each of the
+	// 8 tables is looked up 4 times (32 lookups per inference).
+	spec, err := microrec.DLRMModel(8, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := gen.Batch(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Infer(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DLRM-RMC2 (8 tables x 4 lookups, dim 32):\n")
+	for i, ctr := range res.Predictions {
+		fmt.Printf("  query %d: CTR %.4f\n", i, ctr)
+	}
+	fmt.Printf("  lookup latency: %.0f ns, single-item latency %.1f µs\n",
+		res.Timing.LookupNS, res.Timing.LatencyNS/1e3)
+}

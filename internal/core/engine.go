@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"microrec/internal/cartesian"
+	"microrec/internal/embedding"
+	"microrec/internal/fixedpoint"
+	"microrec/internal/model"
+	"microrec/internal/pipesim"
+	"microrec/internal/placement"
+	"microrec/internal/tensor"
+)
+
+// Engine is a built MicroRec accelerator instance: a placement plan bound to
+// materialised parameters, quantized weights, and the timing model. It
+// computes real CTR predictions in the configured fixed-point format while
+// reporting the calibrated hardware timing.
+type Engine struct {
+	cfg    Config
+	spec   *model.Spec
+	plan   *placement.Result
+	store  *embedding.Store
+	params *model.Parameters
+
+	// featureOffset[srcID] is where source table srcID's vectors start in
+	// the concatenated feature vector (spec order, lookup-minor).
+	featureOffset []int
+	featureLen    int
+
+	// Quantized FC tower: weights held column-major per layer for the
+	// GEMV; raw values in the engine's fixed-point format.
+	qweights [][]int64 // layer -> in*out raw values, row-major (in x out)
+	qbiases  [][]int64
+	dims     [][2]int
+
+	// products holds the physically materialised Cartesian tables, one
+	// per physical table (nil for single tables and for products too
+	// large to materialise, which fall back to virtual per-source reads).
+	products []*cartesian.Materialized
+
+	pipelineNS float64 // cached lookup latency from the plan
+}
+
+// Build assembles an engine from materialised parameters, a placement plan
+// for the same model, and an accelerator configuration.
+func Build(params *model.Parameters, plan *placement.Result, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if params == nil || plan == nil {
+		return nil, fmt.Errorf("core: nil parameters or plan")
+	}
+	spec := params.Spec
+	if plan.Layout.Spec != spec {
+		return nil, fmt.Errorf("core: plan is for model %q, parameters for %q",
+			plan.Layout.Spec.Name, spec.Name)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid plan: %w", err)
+	}
+	store, err := embedding.NewStore(params)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		spec:       spec,
+		plan:       plan,
+		store:      store,
+		params:     params,
+		dims:       spec.LayerDims(),
+		pipelineNS: plan.Report.LatencyNS,
+	}
+	e.featureOffset = make([]int, len(spec.Tables))
+	off := 0
+	for i, t := range spec.Tables {
+		e.featureOffset[i] = off
+		off += t.Dim * t.Lookups
+	}
+	e.featureLen = off + spec.DenseDim
+	if got := spec.FeatureLen(); e.featureLen != got {
+		return nil, fmt.Errorf("core: feature length mismatch %d vs %d", e.featureLen, got)
+	}
+	f := cfg.Precision
+	for l, w := range params.Weights {
+		raw := make([]int64, len(w.Data))
+		for i, v := range w.Data {
+			raw[i] = f.Quantize(float64(v))
+		}
+		e.qweights = append(e.qweights, raw)
+		braw := make([]int64, len(params.Biases[l]))
+		for i, v := range params.Biases[l] {
+			braw[i] = f.Quantize(float64(v))
+		}
+		e.qbiases = append(e.qbiases, braw)
+	}
+	// Physically materialise the (capacity-scaled) Cartesian products, as
+	// the DRAM image on the FPGA would hold them; oversized products keep
+	// the virtual per-source path.
+	e.products = make([]*cartesian.Materialized, len(plan.Layout.Tables))
+	for pi, pt := range plan.Layout.Tables {
+		if !pt.IsProduct() {
+			continue
+		}
+		srcs := make([]*embedding.Table, len(pt.Sources))
+		for i, src := range pt.Sources {
+			tab, err := store.Table(src.ID)
+			if err != nil {
+				return nil, err
+			}
+			srcs[i] = tab
+		}
+		m, err := cartesian.MaterializeProduct(pt, srcs)
+		if err != nil {
+			continue // too large: virtual fallback
+		}
+		e.products[pi] = m
+	}
+	return e, nil
+}
+
+// MaterializedProducts reports how many Cartesian products are physically
+// materialised (vs. served by the virtual per-source fallback).
+func (e *Engine) MaterializedProducts() int {
+	n := 0
+	for _, m := range e.products {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Spec returns the engine's model.
+func (e *Engine) Spec() *model.Spec { return e.spec }
+
+// Plan returns the engine's placement.
+func (e *Engine) Plan() *placement.Result { return e.plan }
+
+// Config returns the engine's build configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// LookupNS returns the modeled per-inference embedding-lookup latency.
+func (e *Engine) LookupNS() float64 { return e.pipelineNS }
+
+// Gather resolves one query into the concatenated float feature vector,
+// walking the *physical* layout: one access per physical table retrieves the
+// vectors of all its merged sources (the Cartesian-product payoff), which are
+// then scattered to their spec-order feature positions.
+func (e *Engine) Gather(q embedding.Query, dst []float32) ([]float32, error) {
+	if len(q) != len(e.spec.Tables) {
+		return nil, fmt.Errorf("core: query covers %d tables, model has %d", len(q), len(e.spec.Tables))
+	}
+	if dst == nil {
+		dst = make([]float32, e.featureLen)
+	} else if len(dst) != e.featureLen {
+		return nil, fmt.Errorf("core: dst length %d, want %d", len(dst), e.featureLen)
+	}
+	for pi, pt := range e.plan.Layout.Tables {
+		// One physical access serves lookup round r of every source.
+		lookups := pt.Lookups()
+		for r := 0; r < lookups; r++ {
+			if m := e.products[pi]; m != nil {
+				// The merged table is physically materialised: one read
+				// returns every source's vector, which is then scattered
+				// to its spec-order feature position (Figure 5).
+				if err := e.gatherMaterialized(m, pt, q, r, dst); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			for _, src := range pt.Sources {
+				idxs := q[src.ID]
+				if len(idxs) != src.Lookups {
+					return nil, fmt.Errorf("core: table %q expects %d lookups, query has %d",
+						src.Name, src.Lookups, len(idxs))
+				}
+				tab, err := e.store.Table(src.ID)
+				if err != nil {
+					return nil, err
+				}
+				v, err := tab.Lookup(idxs[r])
+				if err != nil {
+					return nil, err
+				}
+				off := e.featureOffset[src.ID] + r*src.Dim
+				copy(dst[off:off+src.Dim], v)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// gatherMaterialized serves lookup round r of a merged table with a single
+// read of the materialised product, scattering the concatenated payload.
+func (e *Engine) gatherMaterialized(m *cartesian.Materialized, pt cartesian.PhysicalTable, q embedding.Query, r int, dst []float32) error {
+	scaled := make([]int64, len(pt.Sources))
+	for i, src := range pt.Sources {
+		idxs := q[src.ID]
+		if len(idxs) != src.Lookups {
+			return fmt.Errorf("core: table %q expects %d lookups, query has %d",
+				src.Name, src.Lookups, len(idxs))
+		}
+		idx := idxs[r]
+		if idx < 0 || idx >= src.Rows {
+			return fmt.Errorf("core: index %d out of range for table %q (%d rows)", idx, src.Name, src.Rows)
+		}
+		// Map the logical index onto the capacity-scaled storage the
+		// product was materialised from.
+		scaled[i] = idx % e.params.ActualRows[src.ID]
+	}
+	payload, err := m.Lookup(scaled)
+	if err != nil {
+		return err
+	}
+	seg := 0
+	for _, src := range pt.Sources {
+		off := e.featureOffset[src.ID] + r*src.Dim
+		copy(dst[off:off+src.Dim], payload[seg:seg+src.Dim])
+		seg += src.Dim
+	}
+	return nil
+}
+
+// InferOne runs one query through the fixed-point datapath and returns the
+// predicted CTR in [0, 1].
+func (e *Engine) InferOne(q embedding.Query) (float32, error) {
+	feat, err := e.Gather(q, nil)
+	if err != nil {
+		return 0, err
+	}
+	return e.forward(feat)
+}
+
+// forward runs the quantized FC tower on a float feature vector.
+func (e *Engine) forward(feat []float32) (float32, error) {
+	f := e.cfg.Precision
+	x := make([]int64, len(feat))
+	for i, v := range feat {
+		x[i] = f.Quantize(float64(v))
+	}
+	for l, d := range e.dims {
+		in, out := d[0], d[1]
+		if len(x) != in {
+			return 0, fmt.Errorf("core: layer %d input %d, want %d", l, len(x), in)
+		}
+		w := e.qweights[l]
+		y := make([]int64, out)
+		for j := 0; j < out; j++ {
+			var acc int64
+			for i := 0; i < in; i++ {
+				acc = f.MulAcc(acc, x[i], w[i*out+j])
+			}
+			y[j] = f.Add(f.Finish(acc), e.qbiases[l][j])
+		}
+		if l < len(e.dims)-1 {
+			fixedpoint.ReLU(y)
+		}
+		x = y
+	}
+	logit := x[0]
+	return float32(f.Dequantize(f.Sigmoid(logit))), nil
+}
+
+// ReferenceOne computes the same prediction in float32 (the software
+// reference used to measure quantization error).
+func (e *Engine) ReferenceOne(q embedding.Query) (float32, error) {
+	feat, err := e.Gather(q, nil)
+	if err != nil {
+		return 0, err
+	}
+	x := feat
+	for l := range e.dims {
+		y, err := tensor.MatVec(e.params.Weights[l].Transpose(), x, nil)
+		if err != nil {
+			return 0, err
+		}
+		for j := range y {
+			y[j] += e.params.Biases[l][j]
+		}
+		if l < len(e.dims)-1 {
+			tensor.ReLU(y)
+		}
+		x = y
+	}
+	out := []float32{x[0]}
+	tensor.Sigmoid(out)
+	return out[0], nil
+}
+
+// InferResult bundles predictions with the hardware timing model's report.
+type InferResult struct {
+	Predictions []float32
+	Timing      TimingReport
+}
+
+// Infer runs a batch of queries: functionally through the fixed-point
+// datapath, and through the timing model as a back-to-back item stream (the
+// accelerator has no batching, §4.1). The functional computation fans out
+// across goroutines — the engine is immutable after Build, so concurrent
+// queries are safe.
+func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: no queries")
+	}
+	preds := make([]float32, len(queries))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	chunk := (len(queries) + workers - 1) / workers
+	for lo := 0; lo < len(queries); lo += chunk {
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				p, err := e.InferOne(queries[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: query %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				preds[i] = p
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep, err := e.cfg.Simulate(e.spec, e.pipelineNS, len(queries))
+	if err != nil {
+		return nil, err
+	}
+	return &InferResult{Predictions: preds, Timing: rep}, nil
+}
+
+// Timing runs only the timing model for `items` inferences (no functional
+// computation), useful for large sweeps.
+func (e *Engine) Timing(items int) (TimingReport, error) {
+	return e.cfg.Simulate(e.spec, e.pipelineNS, items)
+}
+
+// TracePipeline simulates `items` inferences and writes a Chrome-trace JSON
+// of every stage occupancy to w (open it in chrome://tracing or Perfetto to
+// inspect pipeline balance).
+func (e *Engine) TracePipeline(items int, w io.Writer) (TimingReport, error) {
+	p, err := e.cfg.BuildPipeline(e.spec, e.pipelineNS)
+	if err != nil {
+		return TimingReport{}, err
+	}
+	events, res, err := p.Trace(items)
+	if err != nil {
+		return TimingReport{}, err
+	}
+	if err := pipesim.ChromeTrace(w, events); err != nil {
+		return TimingReport{}, err
+	}
+	_, bottleneck := p.Bottleneck()
+	return TimingReport{
+		Items:                 items,
+		LatencyNS:             p.FillLatencyNS(),
+		SteadyIntervalNS:      p.BottleneckIntervalNS(),
+		MakespanNS:            res.MakespanNS,
+		ThroughputItemsPerSec: res.ThroughputPerSec,
+		ThroughputGOPs:        float64(e.spec.OpsPerItem()) * float64(items) / res.MakespanNS,
+		LookupNS:              e.pipelineNS,
+		BottleneckStage:       bottleneck,
+	}, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"microrec/internal/embedding"
+)
+
+// StreamRequest is one query in a streaming session; Seq is echoed on the
+// response so callers can correlate out-of-order completion (the engine
+// preserves order, but callers shouldn't have to rely on it).
+type StreamRequest struct {
+	Seq   uint64
+	Query embedding.Query
+}
+
+// StreamResponse carries one prediction or a per-query error.
+type StreamResponse struct {
+	Seq uint64
+	CTR float32
+	Err error
+}
+
+// Stream serves queries item by item — the deployment model of §4.1, where
+// the host streams features continuously and the accelerator never batches.
+// It consumes requests from in until the channel closes or ctx is cancelled,
+// and emits exactly one response per request on the returned channel, in
+// order. The response channel is closed when the stream drains.
+func (e *Engine) Stream(ctx context.Context, in <-chan StreamRequest) <-chan StreamResponse {
+	out := make(chan StreamResponse)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case req, ok := <-in:
+				if !ok {
+					return
+				}
+				ctr, err := e.InferOne(req.Query)
+				resp := StreamResponse{Seq: req.Seq, CTR: ctr}
+				if err != nil {
+					resp.Err = fmt.Errorf("core: query %d: %w", req.Seq, err)
+				}
+				select {
+				case out <- resp:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"microrec/internal/model"
+)
+
+func TestStreamServesInOrder(t *testing.T) {
+	spec := model.SmallProduction()
+	e := buildEngine(t, spec, SmallFP16(), true)
+	qs := randomQueries(spec, 10, 13)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan StreamRequest)
+	out := e.Stream(ctx, in)
+	go func() {
+		for i, q := range qs {
+			in <- StreamRequest{Seq: uint64(i), Query: q}
+		}
+		close(in)
+	}()
+	var got []StreamResponse
+	for resp := range out {
+		got = append(got, resp)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("stream returned %d responses for %d requests", len(got), len(qs))
+	}
+	for i, resp := range got {
+		if resp.Seq != uint64(i) {
+			t.Errorf("response %d has seq %d — order not preserved", i, resp.Seq)
+		}
+		if resp.Err != nil {
+			t.Errorf("response %d: %v", i, resp.Err)
+		}
+		want, err := e.InferOne(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CTR != want {
+			t.Errorf("response %d: CTR %v, want %v", i, resp.CTR, want)
+		}
+	}
+}
+
+func TestStreamReportsPerQueryErrors(t *testing.T) {
+	spec := model.SmallProduction()
+	e := buildEngine(t, spec, SmallFP16(), true)
+	good := randomQueries(spec, 1, 1)[0]
+	bad := randomQueries(spec, 1, 2)[0]
+	bad[0] = []int64{spec.Tables[0].Rows + 1}
+
+	ctx := context.Background()
+	in := make(chan StreamRequest, 2)
+	in <- StreamRequest{Seq: 0, Query: bad}
+	in <- StreamRequest{Seq: 1, Query: good}
+	close(in)
+	out := e.Stream(ctx, in)
+	first := <-out
+	if first.Err == nil {
+		t.Error("bad query: want per-query error")
+	}
+	second := <-out
+	if second.Err != nil {
+		t.Errorf("good query after bad one failed: %v", second.Err)
+	}
+	if _, more := <-out; more {
+		t.Error("stream did not close after drain")
+	}
+}
+
+func TestStreamHonorsCancellation(t *testing.T) {
+	spec := model.SmallProduction()
+	e := buildEngine(t, spec, SmallFP16(), true)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan StreamRequest) // never written
+	out := e.Stream(ctx, in)
+	cancel()
+	select {
+	case _, more := <-out:
+		if more {
+			t.Error("got a response from a cancelled stream")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("stream did not close after cancellation")
+	}
+}

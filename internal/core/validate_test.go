@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/placement"
+)
+
+// TestBuildRejectsCorruptPlans injects structural faults into an otherwise
+// valid plan and requires Build to refuse each one.
+func TestBuildRejectsCorruptPlans(t *testing.T) {
+	spec := model.SmallProduction()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: 1, MaxRowsPerTable: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *placement.Result {
+		plan, err := placement.Plan(spec, memsim.U280(8), placement.Options{EnableCartesian: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+
+	// Sanity: the untouched plan builds.
+	if _, err := Build(params, fresh(), SmallFP16()); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	corruptions := map[string]func(*placement.Result){
+		"bank out of range": func(p *placement.Result) { p.BankOf[0] = len(p.System.Banks) + 5 },
+		"negative bank":     func(p *placement.Result) { p.BankOf[3] = -1 },
+		"short assignment":  func(p *placement.Result) { p.BankOf = p.BankOf[:2] },
+		"over capacity": func(p *placement.Result) {
+			// Pile every table onto a single 256 KB on-chip bank.
+			onchip := p.System.OnChipBanks()[0]
+			for i := range p.BankOf {
+				p.BankOf[i] = onchip
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		plan := fresh()
+		corrupt(plan)
+		if _, err := Build(params, plan, SmallFP16()); err == nil {
+			t.Errorf("%s: Build accepted a corrupt plan", name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package dramsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"microrec/internal/memsim"
+)
+
+// TestChannelRoundsMatchAnalyticModel cross-validates the two memory models:
+// a placement that puts k tables on one channel costs k serialised accesses
+// in the analytic model (memsim); replaying the same per-inference access
+// pattern through the device simulator must produce the same per-item
+// latency within a few percent.
+func TestChannelRoundsMatchAnalyticModel(t *testing.T) {
+	cases := []struct {
+		name       string
+		vecBytes   []int // one table per entry, all on one channel
+		inferences int
+	}{
+		{"one-table", []int{64}, 50},
+		{"two-tables", []int{64, 64}, 50},
+		{"mixed-dims", []int{16, 128}, 50},
+		{"three-tables", []int{16, 32, 64}, 50},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Analytic: serialised accesses on one bank.
+			var analytic float64
+			for _, b := range c.vecBytes {
+				analytic += memsim.HBMTiming.AccessNS(b)
+			}
+
+			// Device: back-to-back inferences; each issues one random-row
+			// read per table. Requests for inference i arrive when
+			// inference i-1's data is complete (the lookup unit retires
+			// items in order).
+			d, err := New(U280Channel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			var at float64
+			var totalLatency float64
+			warmup := 5
+			counted := 0
+			for i := 0; i < c.inferences; i++ {
+				start := at
+				for _, bytes := range c.vecBytes {
+					r, err := d.Serve(Request{
+						Bank:      rng.Intn(4),
+						Row:       rng.Int63n(1 << 30), // always a row miss
+						Bytes:     bytes,
+						ArrivalNS: at,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					at = r.DoneNS
+				}
+				if i >= warmup {
+					totalLatency += at - start
+					counted++
+				}
+			}
+			device := totalLatency / float64(counted)
+			if !memsim.ApproxEqual(device, analytic, 0.08) {
+				t.Errorf("device per-inference %.1f ns vs analytic %.1f ns (>8%% apart)",
+					device, analytic)
+			}
+		})
+	}
+}
+
+// TestCartesianBenefitEmergesFromDevice replays the small production model's
+// bottleneck channel, with and without a Cartesian merge, through the device
+// simulator: merging two tables into one longer-vector access must save
+// roughly the analytic ratio.
+func TestCartesianBenefitEmergesFromDevice(t *testing.T) {
+	run := func(vecBytes []int) float64 {
+		d, err := New(U280Channel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		var at float64
+		var total float64
+		const n = 40
+		for i := 0; i < n; i++ {
+			start := at
+			for _, b := range vecBytes {
+				r, err := d.Serve(Request{Bank: rng.Intn(4), Row: rng.Int63n(1 << 30), Bytes: b, ArrivalNS: at})
+				if err != nil {
+					t.Fatal(err)
+				}
+				at = r.DoneNS
+			}
+			total += at - start
+		}
+		return total / n
+	}
+	separate := run([]int{16, 16}) // two dim-4 tables
+	merged := run([]int{32})       // their product: one dim-8 access
+	gain := separate / merged
+	analytic := memsim.MergeGain(memsim.HBMTiming, 16, 16)
+	if !memsim.ApproxEqual(gain, analytic, 0.10) {
+		t.Errorf("device merge gain %.2f vs analytic %.2f (>10%% apart)", gain, analytic)
+	}
+	if gain < 1.5 {
+		t.Errorf("device merge gain %.2f — the Cartesian benefit did not emerge", gain)
+	}
+}

@@ -1,0 +1,220 @@
+// Package dramsim is a discrete-event model of a single DRAM device behind
+// one channel (an HBM pseudo-channel or a DDR4 channel): banks with row
+// buffers, activate/precharge/CAS timing, bank-level parallelism and a
+// shared data bus.
+//
+// It grounds the calibrated analytic constants of package memsim in device
+// behaviour: embedding lookups are row-buffer misses (random rows across
+// huge tables, §2.2), so each access pays the full activate+CAS cost, while
+// the tail of a long (Cartesian-merged) vector streams from an open row at
+// bus speed. dramsim_test.go verifies that the analytic model's access
+// latencies emerge from these micro parameters.
+package dramsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds device timing parameters in nanoseconds.
+type Params struct {
+	// CtrlNS is the controller/AXI round-trip added to every request
+	// (the memsim "pipe" component; dominated by the Vitis-generated
+	// memory controller, §3.2.2).
+	CtrlNS float64
+	// TRPNS is the precharge time (closing an open row).
+	TRPNS float64
+	// TRCDNS is the row activation time.
+	TRCDNS float64
+	// TCLNS is the CAS (column access) latency.
+	TCLNS float64
+	// BytePerNS is the data-bus bandwidth in bytes per nanosecond.
+	BytePerNS float64
+	// Banks is the number of banks sharing the channel.
+	Banks int
+	// OpenPage keeps rows open after an access (open-page policy);
+	// closed-page precharges immediately.
+	OpenPage bool
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.CtrlNS < 0 || p.TRPNS < 0 || p.TRCDNS < 0 || p.TCLNS < 0 {
+		return fmt.Errorf("dramsim: negative timing parameter: %+v", p)
+	}
+	if p.BytePerNS <= 0 {
+		return fmt.Errorf("dramsim: bus bandwidth %v bytes/ns", p.BytePerNS)
+	}
+	if p.Banks <= 0 {
+		return fmt.Errorf("dramsim: %d banks", p.Banks)
+	}
+	return nil
+}
+
+// U280Channel returns parameters calibrated so that a random-row access
+// reproduces memsim.HBMTiming: CtrlNS matches the pipe component and
+// TRP+TRCD+TCL the row component (164 ns — much larger than raw DRAM tRC
+// because it includes the soft memory controller's scheduling overhead).
+func U280Channel() Params {
+	return Params{
+		CtrlNS:    150,
+		TRPNS:     50,
+		TRCDNS:    60,
+		TCLNS:     54,
+		BytePerNS: 1 / 1.3,
+		Banks:     4,
+		OpenPage:  true,
+	}
+}
+
+// Request is one read: bytes from a row of a bank.
+type Request struct {
+	Bank  int
+	Row   int64
+	Bytes int
+	// ArrivalNS is when the request reaches the controller.
+	ArrivalNS float64
+}
+
+// Result describes one serviced request.
+type Result struct {
+	Request
+	StartNS  float64 // service start (post queueing)
+	DoneNS   float64 // data fully returned
+	RowHit   bool
+	QueueNS  float64 // time spent waiting for bank/bus
+	ActiveNS float64 // activation + CAS + transfer time
+}
+
+// LatencyNS returns the request's total latency.
+func (r Result) LatencyNS() float64 { return r.DoneNS - r.ArrivalNS }
+
+// Device is the discrete-event simulator state.
+type Device struct {
+	p         Params
+	openRow   []int64 // per bank; -1 = closed
+	bankFree  []float64
+	busFree   float64
+	served    int64
+	rowHits   int64
+	rowMisses int64
+}
+
+// New creates a device.
+func New(p Params) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		p:        p,
+		openRow:  make([]int64, p.Banks),
+		bankFree: make([]float64, p.Banks),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d, nil
+}
+
+// Serve processes one request and returns its timing.
+func (d *Device) Serve(req Request) (Result, error) {
+	if req.Bank < 0 || req.Bank >= d.p.Banks {
+		return Result{}, fmt.Errorf("dramsim: bank %d out of range (%d banks)", req.Bank, d.p.Banks)
+	}
+	if req.Bytes <= 0 {
+		return Result{}, fmt.Errorf("dramsim: request for %d bytes", req.Bytes)
+	}
+	if req.Row < 0 {
+		return Result{}, fmt.Errorf("dramsim: negative row %d", req.Row)
+	}
+	start := math.Max(req.ArrivalNS, d.bankFree[req.Bank])
+
+	var rowNS float64
+	hit := d.p.OpenPage && d.openRow[req.Bank] == req.Row
+	if hit {
+		d.rowHits++
+	} else {
+		d.rowMisses++
+		if d.openRow[req.Bank] >= 0 {
+			rowNS += d.p.TRPNS // close the stale row
+		}
+		rowNS += d.p.TRCDNS
+	}
+	// Column access, then the data burst over the shared bus.
+	dataReady := start + rowNS + d.p.TCLNS
+	busStart := math.Max(dataReady, d.busFree)
+	transfer := float64(req.Bytes) / d.p.BytePerNS
+	done := busStart + transfer + d.p.CtrlNS
+
+	d.busFree = busStart + transfer
+	d.bankFree[req.Bank] = busStart + transfer
+	if d.p.OpenPage {
+		d.openRow[req.Bank] = req.Row
+	} else {
+		d.openRow[req.Bank] = -1
+		d.bankFree[req.Bank] += d.p.TRPNS
+	}
+	d.served++
+	return Result{
+		Request:  req,
+		StartNS:  start,
+		DoneNS:   done,
+		RowHit:   hit,
+		QueueNS:  start - req.ArrivalNS + (busStart - dataReady),
+		ActiveNS: done - start - (busStart - dataReady),
+	}, nil
+}
+
+// Replay services a request trace in order and returns per-request results.
+func (d *Device) Replay(trace []Request) ([]Result, error) {
+	out := make([]Result, len(trace))
+	for i, req := range trace {
+		r, err := d.Serve(req)
+		if err != nil {
+			return nil, fmt.Errorf("dramsim: request %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Stats summarises device behaviour.
+type Stats struct {
+	Served    int64
+	RowHits   int64
+	RowMisses int64
+}
+
+// HitRate returns the row-buffer hit rate.
+func (s Stats) HitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Stats returns a snapshot.
+func (d *Device) Stats() Stats {
+	return Stats{Served: d.served, RowHits: d.rowHits, RowMisses: d.rowMisses}
+}
+
+// ColdMissLatencyNS returns the analytic latency of the very first access to
+// a bank (no row open yet, so no precharge is paid).
+func (p Params) ColdMissLatencyNS(bytes int) float64 {
+	return p.CtrlNS + p.TRCDNS + p.TCLNS + float64(bytes)/p.BytePerNS
+}
+
+// RandomMissLatencyNS returns the analytic steady-state latency of a
+// random-row access under the open-page policy: the previous (stale) row is
+// open, so the access pays precharge + activate + CAS — what every embedding
+// lookup costs (§2.2). This is the quantity memsim's row component is
+// calibrated to.
+func (p Params) RandomMissLatencyNS(bytes int) float64 {
+	return p.TRPNS + p.ColdMissLatencyNS(bytes)
+}
+
+// OpenRowLatencyNS returns the analytic latency of a row-buffer hit.
+func (p Params) OpenRowLatencyNS(bytes int) float64 {
+	return p.CtrlNS + p.TCLNS + float64(bytes)/p.BytePerNS
+}

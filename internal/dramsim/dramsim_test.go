@@ -1,0 +1,309 @@
+package dramsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microrec/internal/memsim"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := U280Channel().Validate(); err != nil {
+		t.Errorf("calibrated params invalid: %v", err)
+	}
+	bad := U280Channel()
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 banks: want error")
+	}
+	bad = U280Channel()
+	bad.BytePerNS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 bandwidth: want error")
+	}
+	bad = U280Channel()
+	bad.TRPNS = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative timing: want error")
+	}
+}
+
+// TestCalibrationMatchesMemsim verifies the headline property: an isolated
+// random-row access on the device model reproduces the analytic
+// memsim.HBMTiming latency the rest of the system is calibrated on.
+func TestCalibrationMatchesMemsim(t *testing.T) {
+	p := U280Channel()
+	for _, dim := range []int{4, 8, 16, 32, 64} {
+		bytes := dim * 4
+		device := p.RandomMissLatencyNS(bytes)
+		analytic := memsim.HBMTiming.AccessNS(bytes)
+		if !memsim.ApproxEqual(device, analytic, 0.02) {
+			t.Errorf("dim %d: device %.1f ns vs analytic %.1f ns (>2%% apart)", dim, device, analytic)
+		}
+	}
+}
+
+func TestServeIsolatedMiss(t *testing.T) {
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Serve(Request{Bank: 0, Row: 42, Bytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowHit {
+		t.Error("first access cannot be a row hit")
+	}
+	// A cold bank pays no precharge.
+	want := U280Channel().ColdMissLatencyNS(64)
+	if !memsim.ApproxEqual(r.LatencyNS(), want, 0.01) {
+		t.Errorf("latency %.1f, want %.1f", r.LatencyNS(), want)
+	}
+	// Steady state (stale row open) pays the full analytic cost.
+	r2, err := d.Serve(Request{Bank: 0, Row: 43, Bytes: 64, ArrivalNS: r.DoneNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteady := U280Channel().RandomMissLatencyNS(64)
+	if !memsim.ApproxEqual(r2.LatencyNS(), wantSteady, 0.01) {
+		t.Errorf("steady-state latency %.1f, want %.1f", r2.LatencyNS(), wantSteady)
+	}
+}
+
+func TestOpenPageHitIsCheaper(t *testing.T) {
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := d.Serve(Request{Bank: 0, Row: 42, Bytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := d.Serve(Request{Bank: 0, Row: 42, Bytes: 64, ArrivalNS: miss.DoneNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.RowHit {
+		t.Fatal("same-row access should hit the row buffer")
+	}
+	if hit.LatencyNS() >= miss.LatencyNS() {
+		t.Errorf("hit %.1f ns not cheaper than miss %.1f ns", hit.LatencyNS(), miss.LatencyNS())
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 1 || st.Served != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestClosedPageNeverHits(t *testing.T) {
+	p := U280Channel()
+	p.OpenPage = false
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at float64
+	for i := 0; i < 5; i++ {
+		r, err := d.Serve(Request{Bank: 0, Row: 7, Bytes: 32, ArrivalNS: at})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RowHit {
+			t.Error("closed-page policy must never report hits")
+		}
+		at = r.DoneNS + 100
+	}
+}
+
+func TestRowConflictPaysPrecharge(t *testing.T) {
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := d.Serve(Request{Bank: 0, Row: 1, Bytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different row on the same bank: precharge + activate.
+	conflict, err := d.Serve(Request{Bank: 0, Row: 2, Bytes: 32, ArrivalNS: first.DoneNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict.LatencyNS() <= first.LatencyNS() {
+		t.Errorf("row conflict %.1f ns should exceed cold miss %.1f ns (extra tRP)",
+			conflict.LatencyNS(), first.LatencyNS())
+	}
+}
+
+func TestBankParallelismOverlapsActivation(t *testing.T) {
+	// Two simultaneous requests to different banks overlap their row
+	// activations; two to the same bank serialise fully.
+	mk := func(bankB int) float64 {
+		d, err := New(U280Channel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Serve(Request{Bank: 0, Row: 1, Bytes: 64}); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := d.Serve(Request{Bank: bankB, Row: 2, Bytes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r2.DoneNS
+	}
+	sameBank := mk(0)
+	diffBank := mk(1)
+	if diffBank >= sameBank {
+		t.Errorf("different-bank completion %.1f should beat same-bank %.1f", diffBank, sameBank)
+	}
+}
+
+func TestBusSerializesTransfers(t *testing.T) {
+	// Even across banks, the shared data bus serialises the bursts: total
+	// completion grows with every transfer.
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for b := 0; b < 4; b++ {
+		r, err := d.Serve(Request{Bank: b, Row: 5, Bytes: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DoneNS <= last {
+			t.Errorf("bank %d finished at %.1f, not after previous %.1f", b, r.DoneNS, last)
+		}
+		last = r.DoneNS
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Serve(Request{Bank: -1, Row: 0, Bytes: 4}); err == nil {
+		t.Error("negative bank: want error")
+	}
+	if _, err := d.Serve(Request{Bank: 99, Row: 0, Bytes: 4}); err == nil {
+		t.Error("bank out of range: want error")
+	}
+	if _, err := d.Serve(Request{Bank: 0, Row: 0, Bytes: 0}); err == nil {
+		t.Error("zero bytes: want error")
+	}
+	if _, err := d.Serve(Request{Bank: 0, Row: -1, Bytes: 4}); err == nil {
+		t.Error("negative row: want error")
+	}
+	if _, err := New(Params{}); err == nil {
+		t.Error("zero params: want error")
+	}
+}
+
+func TestReplayEmbeddingTrace(t *testing.T) {
+	// An embedding-lookup trace — random rows over random banks — must
+	// show a near-zero row-hit rate (the paper's premise, §2.2, citing
+	// Ke et al.'s cache-miss observation).
+	d, err := New(U280Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]Request, 500)
+	var at float64
+	for i := range trace {
+		trace[i] = Request{
+			Bank:      rng.Intn(4),
+			Row:       rng.Int63n(1 << 20),
+			Bytes:     64,
+			ArrivalNS: at,
+		}
+		at += 500
+	}
+	results, err := d.Replay(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := d.Stats().HitRate(); hr > 0.01 {
+		t.Errorf("random-row trace hit rate %.3f, want ~0", hr)
+	}
+	// Every request's latency must be at least the ideal miss latency.
+	floor := U280Channel().OpenRowLatencyNS(64)
+	for i, r := range results {
+		if r.LatencyNS() < floor {
+			t.Errorf("request %d latency %.1f below floor %.1f", i, r.LatencyNS(), floor)
+		}
+	}
+	if _, err := d.Replay([]Request{{Bank: 0, Row: 0, Bytes: 0}}); err == nil {
+		t.Error("bad trace entry: want error")
+	}
+}
+
+func TestMergedVectorCheaperThanTwoAccesses(t *testing.T) {
+	// The Cartesian-product argument at device level: reading one 2x-long
+	// vector costs less than two separate random reads.
+	p := U280Channel()
+	two := 2 * p.RandomMissLatencyNS(64)
+	merged := p.RandomMissLatencyNS(128)
+	if merged >= two {
+		t.Errorf("merged access %.1f not cheaper than two accesses %.1f", merged, two)
+	}
+	gain := two / merged
+	if gain < 1.5 {
+		t.Errorf("device-level merge gain %.2f, want >= 1.5 for 64 B vectors", gain)
+	}
+}
+
+// Property: completion times are monotone along any trace (the device never
+// reorders) and hits never exceed total requests.
+func TestMonotoneCompletionProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		d, err := New(U280Channel())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var last float64
+		var at float64
+		for i := 0; i < int(n%64)+1; i++ {
+			r, err := d.Serve(Request{
+				Bank:      rng.Intn(4),
+				Row:       rng.Int63n(64),
+				Bytes:     4 + rng.Intn(256),
+				ArrivalNS: at,
+			})
+			if err != nil {
+				return false
+			}
+			if r.DoneNS < last {
+				return false
+			}
+			last = r.DoneNS
+			at += rng.Float64() * 300
+		}
+		st := d.Stats()
+		return st.RowHits+st.RowMisses == st.Served
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkServe(b *testing.B) {
+	d, err := New(U280Channel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Serve(Request{Bank: i % 4, Row: int64(i % 1024), Bytes: 64, ArrivalNS: float64(i) * 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

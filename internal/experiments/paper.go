@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and the appendix): each runner produces the same rows the
+// paper reports, next to the paper's published values, so EXPERIMENTS.md can
+// record paper-vs-measured for the whole evaluation.
+package experiments
+
+// Paper reference values, transcribed from the MLSys'21 camera-ready.
+
+// PaperBatch mirrors the batch sizes of Tables 2 and 4.
+var PaperBatch = []int{1, 64, 256, 512, 1024, 2048}
+
+// PaperTable2CPU holds CPU end-to-end latency (ms) per batch size.
+var PaperTable2CPU = map[string]map[int]float64{
+	"production-small": {1: 3.34, 64: 5.41, 256: 8.15, 512: 11.15, 1024: 17.17, 2048: 28.18},
+	"production-large": {1: 7.48, 64: 10.23, 256: 15.62, 512: 21.06, 1024: 31.72, 2048: 56.98},
+}
+
+// PaperTable2FPGA holds the FPGA columns of Table 2: single-item latency (ms)
+// and throughput (items/s, GOP/s) per model and precision.
+var PaperTable2FPGA = map[string]map[int]struct {
+	LatencyMS float64
+	ItemsPerS float64
+	GOPs      float64
+}{
+	"production-small": {
+		16: {1.63e-2, 3.05e5, 619.50},
+		32: {2.26e-2, 1.81e5, 367.72},
+	},
+	"production-large": {
+		16: {2.26e-2, 1.95e5, 606.41},
+		32: {3.10e-2, 1.22e5, 379.45},
+	},
+}
+
+// PaperTable2Speedup holds the end-to-end speedup rows of Table 2
+// (FPGA vs CPU at each batch size), keyed by model then precision then batch.
+var PaperTable2Speedup = map[string]map[int]map[int]float64{
+	"production-small": {
+		16: {1: 204.72, 64: 24.27, 256: 9.56, 512: 6.59, 1024: 5.09, 2048: 4.19},
+		32: {1: 147.54, 64: 14.58, 256: 5.69, 512: 3.91, 1024: 3.02, 2048: 2.48},
+	},
+	"production-large": {
+		16: {1: 331.51, 64: 29.56, 256: 11.73, 512: 7.96, 1024: 6.02, 2048: 5.41},
+		32: {1: 241.54, 64: 18.67, 256: 7.36, 512: 4.99, 1024: 3.77, 2048: 3.39},
+	},
+}
+
+// PaperTable3 holds the Cartesian-product benefit/overhead study.
+type PaperTable3Row struct {
+	Tables       int
+	TablesInDRAM int
+	DRAMRounds   int
+	StoragePct   float64 // 100 = baseline
+	LatencyPct   float64 // 100 = without Cartesian
+}
+
+var PaperTable3 = map[string]map[bool]PaperTable3Row{
+	"production-small": {
+		false: {47, 39, 2, 100.0, 100.0},
+		true:  {42, 34, 1, 103.2, 59.2},
+	},
+	"production-large": {
+		false: {98, 82, 3, 100.0, 100.0},
+		true:  {84, 68, 2, 101.9, 72.1},
+	},
+}
+
+// PaperTable4CPU holds CPU embedding-layer latency (ms) per batch size.
+var PaperTable4CPU = map[string]map[int]float64{
+	"production-small": {1: 2.59, 64: 3.86, 256: 4.71, 512: 5.96, 1024: 8.39, 2048: 12.96},
+	"production-large": {1: 6.25, 64: 8.05, 256: 10.92, 512: 13.67, 1024: 18.11, 2048: 31.25},
+}
+
+// PaperTable4FPGA holds the FPGA lookup latencies of Table 4 in
+// nanoseconds, keyed by model then configuration (HBM vs HBM+Cartesian).
+var PaperTable4FPGA = map[string]map[string]float64{
+	"production-small": {"hbm": 774, "hbm+cartesian": 458},
+	"production-large": {"hbm": 1380, "hbm+cartesian": 1030},
+}
+
+// PaperTable4Speedup holds Table 4's speedup rows (embedding layer, FPGA vs
+// CPU per batch), keyed by model, then config, then batch.
+var PaperTable4Speedup = map[string]map[string]map[int]float64{
+	"production-small": {
+		"hbm":           {1: 3349.97, 64: 77.91, 256: 23.75, 512: 15.04, 1024: 10.59, 2048: 8.17},
+		"hbm+cartesian": {1: 5665.07, 64: 131.76, 256: 40.16, 512: 25.44, 1024: 17.91, 2048: 13.82},
+	},
+	"production-large": {
+		"hbm":           {1: 4531.23, 64: 91.29, 256: 30.94, 512: 19.36, 1024: 12.83, 2048: 11.07},
+		"hbm+cartesian": {1: 6019.37, 64: 121.28, 256: 41.10, 512: 25.72, 1024: 17.04, 2048: 14.70},
+	},
+}
+
+// PaperTable5 holds the Facebook-benchmark lookup study: modeled lookup
+// latency (ns) and speedup for 8 and 12 tables across embedding dims.
+type PaperTable5Cell struct {
+	LookupNS float64
+	Speedup  float64
+}
+
+var PaperTable5 = map[int]map[int]PaperTable5Cell{
+	8: {
+		4:  {334.5, 72.4},
+		8:  {353.7, 68.4},
+		16: {411.6, 58.8},
+		32: {486.3, 49.7},
+		64: {648.4, 37.3},
+	},
+	12: {
+		4:  {648.5, 37.3},
+		8:  {707.4, 34.2},
+		16: {817.4, 29.6},
+		32: {972.7, 24.8},
+		64: {1296.9, 18.7},
+	},
+}
+
+// PaperTable5Dims are the embedding vector lengths Table 5 sweeps.
+var PaperTable5Dims = []int{4, 8, 16, 32, 64}
+
+// PaperFigure7Breakpoints: lookup rounds tolerated without throughput loss
+// at 16-bit precision (§5.4.1).
+var PaperFigure7Breakpoints = map[string]int{
+	"production-small": 6,
+	"production-large": 4,
+}
+
+// PaperTable6 holds resource utilisation per model and precision.
+type PaperTable6Row struct {
+	FreqMHz  float64
+	BRAM18K  int
+	DSP48E   int
+	FlipFlop int
+	LUT      int
+	URAM     int
+}
+
+var PaperTable6 = map[string]map[int]PaperTable6Row{
+	"production-small": {
+		16: {120, 1566, 4625, 683641, 485323, 642},
+		32: {140, 1657, 5193, 764067, 568864, 770},
+	},
+	"production-large": {
+		16: {120, 1566, 4625, 691042, 514517, 642},
+		32: {135, 1721, 5193, 777527, 584220, 770},
+	},
+}
+
+// Appendix cost study: hourly AWS rental prices.
+const (
+	PaperCPUServerUSDPerHour  = 1.82
+	PaperFPGAServerUSDPerHour = 1.65
+)

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"microrec/internal/metrics"
+)
+
+// Table2Row is one model's end-to-end comparison.
+type Table2Row struct {
+	Model     string
+	Precision int
+	// FPGA results.
+	FPGALatencyUS float64
+	FPGAItemsPerS float64
+	FPGAGOPs      float64
+	// Speedup over the CPU baseline per batch size.
+	Speedup map[int]float64
+}
+
+// RunTable2 reproduces Table 2: end-to-end recommendation inference on the
+// CPU baseline (batch 1–2048) versus MicroRec at both precisions.
+func RunTable2(opts Options) ([]*metrics.Table, error) {
+	opts = opts.withDefaults()
+	var out []*metrics.Table
+	for _, pc := range productionCases() {
+		if pc.Cfg.Precision.Bits != 16 {
+			continue // handle both precisions inside the loop below
+		}
+		spec := pc.Spec
+		cpuModel := pc.CPU
+		t := metrics.NewTable(
+			fmt.Sprintf("Table 2 (%s): end-to-end inference", spec.Name),
+			"Metric", "B=1", "B=64", "B=256", "B=512", "B=1024", "B=2048", "FPGA fp16", "FPGA fp32")
+
+		lat := []string{"Latency (ms)"}
+		gop := []string{"Throughput (GOP/s)"}
+		items := []string{"Throughput (items/s)"}
+		for _, b := range PaperBatch {
+			lat = append(lat, metrics.FmtF(cpuModel.EndToEndMS(b), 2))
+			gop = append(gop, metrics.FmtF(cpuModel.ThroughputGOPs(b), 2))
+			items = append(items, metrics.FmtSI(cpuModel.ThroughputItemsPerSec(b)))
+		}
+
+		type fpgaRes struct {
+			latencyMS float64
+			itemsPerS float64
+			gops      float64
+		}
+		fpga := map[int]fpgaRes{}
+		for _, prec := range []int{16, 32} {
+			cfg := configFor(spec.Name, prec)
+			plan, err := planFor(spec, cfg.OnChipBanks, true, opts.Allocator)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := cfg.Simulate(spec, plan.Report.LatencyNS, opts.Items)
+			if err != nil {
+				return nil, err
+			}
+			itemsPerS := rep.SteadyThroughputItemsPerSec()
+			fpga[prec] = fpgaRes{
+				latencyMS: rep.LatencyNS / 1e6,
+				itemsPerS: itemsPerS,
+				gops:      float64(spec.OpsPerItem()) * itemsPerS / 1e9,
+			}
+		}
+		lat = append(lat, fmt.Sprintf("%.2E", fpga[16].latencyMS), fmt.Sprintf("%.2E", fpga[32].latencyMS))
+		gop = append(gop, metrics.FmtF(fpga[16].gops, 2), metrics.FmtF(fpga[32].gops, 2))
+		items = append(items, metrics.FmtSI(fpga[16].itemsPerS), metrics.FmtSI(fpga[32].itemsPerS))
+		t.AddRow(lat...)
+		t.AddRow(gop...)
+		t.AddRow(items...)
+
+		// Speedup rows follow the paper's convention (Table 2 caption):
+		// CPU batch latency divided by the FPGA's makespan for the same
+		// number of items, including pipeline fill and drain.
+		for _, prec := range []int{16, 32} {
+			cfg := configFor(spec.Name, prec)
+			plan, err := planFor(spec, cfg.OnChipBanks, true, opts.Allocator)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("Speedup: FPGA fp%d", prec)}
+			for _, b := range PaperBatch {
+				rep, err := cfg.Simulate(spec, plan.Report.LatencyNS, b)
+				if err != nil {
+					return nil, err
+				}
+				s := metrics.Speedup(cpuModel.EndToEndMS(b)*1e6, rep.MakespanNS)
+				row = append(row, metrics.FmtSpeedup(s))
+			}
+			t.AddRow(row...)
+		}
+		ref := PaperTable2FPGA[spec.Name]
+		t.AddNote("paper FPGA fp16: %.2E ms, %s items/s; fp32: %.2E ms, %s items/s",
+			ref[16].LatencyMS, metrics.FmtSI(ref[16].ItemsPerS),
+			ref[32].LatencyMS, metrics.FmtSI(ref[32].ItemsPerS))
+		sp16 := PaperTable2Speedup[spec.Name][16][2048]
+		sp32 := PaperTable2Speedup[spec.Name][32][2048]
+		t.AddNote("paper speedup at B=2048: fp16 %.2fx, fp32 %.2fx", sp16, sp32)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Table2Summary extracts the headline numbers programmatically (for tests
+// and EXPERIMENTS.md): per model and precision, FPGA latency/throughput and
+// the B=2048 speedup.
+func Table2Summary(opts Options) (map[string]map[int]Table2Row, error) {
+	opts = opts.withDefaults()
+	out := map[string]map[int]Table2Row{}
+	for _, pc := range productionCases() {
+		spec, cfg := pc.Spec, pc.Cfg
+		plan, err := planFor(spec, cfg.OnChipBanks, true, opts.Allocator)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := cfg.Simulate(spec, plan.Report.LatencyNS, opts.Items)
+		if err != nil {
+			return nil, err
+		}
+		itemsPerS := rep.SteadyThroughputItemsPerSec()
+		row := Table2Row{
+			Model:         spec.Name,
+			Precision:     cfg.Precision.Bits,
+			FPGALatencyUS: rep.LatencyNS / 1e3,
+			FPGAItemsPerS: itemsPerS,
+			FPGAGOPs:      float64(spec.OpsPerItem()) * itemsPerS / 1e9,
+			Speedup:       map[int]float64{},
+		}
+		// Per the Table 2 caption, speedups divide the CPU batch latency
+		// by the FPGA makespan for the same batch (fill/drain included).
+		for _, b := range PaperBatch {
+			batchRep, err := cfg.Simulate(spec, plan.Report.LatencyNS, b)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[b] = metrics.Speedup(pc.CPU.EndToEndMS(b)*1e6, batchRep.MakespanNS)
+		}
+		if out[spec.Name] == nil {
+			out[spec.Name] = map[int]Table2Row{}
+		}
+		out[spec.Name][cfg.Precision.Bits] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvertSameFrac(t *testing.T) {
+	a := Format{Bits: 32, Frac: 10}
+	b := Format{Bits: 16, Frac: 10}
+	if got := Convert(100, a, b); got != 100 {
+		t.Errorf("Convert same frac = %d", got)
+	}
+	// Narrowing saturates.
+	if got := Convert(1<<20, a, b); got != b.maxRaw() {
+		t.Errorf("Convert narrow = %d, want saturation %d", got, b.maxRaw())
+	}
+}
+
+func TestConvertUpAndDown(t *testing.T) {
+	lo := Format{Bits: 16, Frac: 4}
+	hi := Format{Bits: 32, Frac: 12}
+	x := 3.1415
+	raw := lo.Quantize(x)
+	up := Convert(raw, lo, hi)
+	if math.Abs(hi.Dequantize(up)-lo.RoundTrip(x)) > 1e-9 {
+		t.Errorf("up-conversion lost value: %v vs %v", hi.Dequantize(up), lo.RoundTrip(x))
+	}
+	down := Convert(up, hi, lo)
+	if down != raw {
+		t.Errorf("down-conversion %d != original %d", down, raw)
+	}
+}
+
+func TestConvertUpOverflowSaturates(t *testing.T) {
+	lo := Format{Bits: 16, Frac: 2}  // range ±8191.75
+	hi := Format{Bits: 16, Frac: 12} // range ±7.999
+	raw := lo.Quantize(100)          // representable in lo, not hi
+	got := Convert(raw, lo, hi)
+	if got != hi.maxRaw() {
+		t.Errorf("overflowing up-conversion = %d, want saturation %d", got, hi.maxRaw())
+	}
+	rawNeg := lo.Quantize(-100)
+	if got := Convert(rawNeg, lo, hi); got != hi.minRaw() {
+		t.Errorf("negative overflow = %d, want %d", got, hi.minRaw())
+	}
+}
+
+func TestFormatFor(t *testing.T) {
+	cases := []struct {
+		bits   int
+		maxAbs float64
+		want   Format
+	}{
+		{16, 0.9, Format{16, 14}},
+		{16, 1.5, Format{16, 14}}, // Q1.14 reaches 1.99994
+		{16, 7.9, Format{16, 12}},
+		{16, 100, Format{16, 8}},
+		{32, 7.9, Format{32, 28}},
+		{16, 1e9, Format{16, 1}}, // clamped at minimum resolution
+	}
+	for _, c := range cases {
+		got, err := FormatFor(c.bits, c.maxAbs)
+		if err != nil {
+			t.Fatalf("FormatFor(%d, %v): %v", c.bits, c.maxAbs, err)
+		}
+		if got != c.want {
+			t.Errorf("FormatFor(%d, %v) = %v, want %v", c.bits, c.maxAbs, got, c.want)
+		}
+		// The chosen format must actually represent maxAbs (unless
+		// clamped at the minimum fractional width).
+		if got.Frac > 1 && got.MaxValue() < c.maxAbs {
+			t.Errorf("FormatFor(%d, %v) = %v cannot represent the max", c.bits, c.maxAbs, got)
+		}
+	}
+	if _, err := FormatFor(8, 1); err == nil {
+		t.Error("width 8: want error")
+	}
+	if _, err := FormatFor(16, 0); err == nil {
+		t.Error("maxAbs 0: want error")
+	}
+	if _, err := FormatFor(16, math.NaN()); err == nil {
+		t.Error("NaN: want error")
+	}
+}
+
+// Property: Convert never produces a value outside the destination range,
+// and up-then-down conversion is the identity for in-range values.
+func TestConvertRoundTripProperty(t *testing.T) {
+	lo := Format{Bits: 16, Frac: 6}
+	hi := Format{Bits: 32, Frac: 20}
+	prop := func(v int16) bool {
+		raw := int64(v)
+		up := Convert(raw, lo, hi)
+		if up > hi.maxRaw() || up < hi.minRaw() {
+			return false
+		}
+		return Convert(up, hi, lo) == raw
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: converting preserves value within the coarser format's
+// resolution for random in-range floats.
+func TestConvertValuePreservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		fromFrac := 4 + rng.Intn(10)
+		toFrac := 4 + rng.Intn(10)
+		from := Format{Bits: 16, Frac: fromFrac}
+		to := Format{Bits: 32, Frac: toFrac}
+		x := rng.Float64()*4 - 2
+		raw := from.Quantize(x)
+		conv := Convert(raw, from, to)
+		coarse := from.Resolution()
+		if to.Resolution() > coarse {
+			coarse = to.Resolution()
+		}
+		if math.Abs(to.Dequantize(conv)-from.Dequantize(raw)) > coarse {
+			t.Fatalf("conversion %v->%v moved value by more than a ULP", from, to)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package fixedpoint implements the saturating fixed-point arithmetic used by
+// the MicroRec accelerator datapath.
+//
+// The paper evaluates two precision levels, 16-bit and 32-bit fixed point
+// (Table 2, Table 6). We model them as signed Q-format numbers: a Q(m).(f)
+// value stores round(x * 2^f) in an int16 or int32. Multiplications widen to
+// the next integer size, accumulate exactly, and saturate on the way back to
+// the storage width, which is how HLS arbitrary-precision types behave when
+// configured with AP_SAT.
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed fixed-point representation.
+type Format struct {
+	// Bits is the total storage width, 16 or 32.
+	Bits int
+	// Frac is the number of fractional bits.
+	Frac int
+}
+
+// Common formats used by the accelerator. The fractional widths are chosen so
+// that embedding values (|x| < 8) and post-activation ranges (|x| < 256 with
+// ReLU) both fit; see TestFormatRanges.
+var (
+	// Fixed16 is the 16-bit datapath format (Q6.10).
+	Fixed16 = Format{Bits: 16, Frac: 10}
+	// Fixed32 is the 32-bit datapath format (Q14.18).
+	Fixed32 = Format{Bits: 32, Frac: 18}
+)
+
+// Validate reports whether the format is one the datapath supports.
+func (f Format) Validate() error {
+	if f.Bits != 16 && f.Bits != 32 {
+		return fmt.Errorf("fixedpoint: unsupported width %d (want 16 or 32)", f.Bits)
+	}
+	// Reserve the sign bit plus at least one integer bit, since datapath
+	// values (embeddings, activations) routinely exceed 1.0 in magnitude.
+	if f.Frac <= 0 || f.Frac > f.Bits-2 {
+		return fmt.Errorf("fixedpoint: fractional width %d out of range for %d-bit format", f.Frac, f.Bits)
+	}
+	return nil
+}
+
+// Scale returns 2^Frac as a float64.
+func (f Format) Scale() float64 { return float64(int64(1) << uint(f.Frac)) }
+
+// MaxValue returns the largest representable value.
+func (f Format) MaxValue() float64 {
+	return float64(f.maxRaw()) / f.Scale()
+}
+
+// MinValue returns the most negative representable value.
+func (f Format) MinValue() float64 {
+	return float64(f.minRaw()) / f.Scale()
+}
+
+// Resolution returns the value of one least-significant bit.
+func (f Format) Resolution() float64 { return 1 / f.Scale() }
+
+func (f Format) maxRaw() int64 { return int64(1)<<uint(f.Bits-1) - 1 }
+func (f Format) minRaw() int64 { return -(int64(1) << uint(f.Bits-1)) }
+
+// String implements fmt.Stringer, e.g. "Q6.10".
+func (f Format) String() string {
+	return fmt.Sprintf("Q%d.%d", f.Bits-1-f.Frac, f.Frac)
+}
+
+// Quantize converts a float64 to the nearest representable raw value,
+// saturating at the format bounds. NaN quantizes to zero.
+func (f Format) Quantize(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	r := math.RoundToEven(x * f.Scale())
+	if r > float64(f.maxRaw()) {
+		return f.maxRaw()
+	}
+	if r < float64(f.minRaw()) {
+		return f.minRaw()
+	}
+	return int64(r)
+}
+
+// Dequantize converts a raw value back to float64.
+func (f Format) Dequantize(raw int64) float64 {
+	return float64(raw) / f.Scale()
+}
+
+// RoundTrip quantizes and dequantizes x, returning the representable value
+// nearest to x.
+func (f Format) RoundTrip(x float64) float64 {
+	return f.Dequantize(f.Quantize(x))
+}
+
+// saturate clamps a wide accumulator into the storage width.
+func (f Format) saturate(v int64) int64 {
+	if v > f.maxRaw() {
+		return f.maxRaw()
+	}
+	if v < f.minRaw() {
+		return f.minRaw()
+	}
+	return v
+}
+
+// Add returns a+b in the format with saturation. Inputs must already be raw
+// values of this format.
+func (f Format) Add(a, b int64) int64 { return f.saturate(a + b) }
+
+// Sub returns a-b in the format with saturation.
+func (f Format) Sub(a, b int64) int64 { return f.saturate(a - b) }
+
+// Mul returns a*b rescaled into the format with saturation. The product of
+// two Q.f numbers is a Q.2f number; shifting right by f (with rounding toward
+// nearest) restores the format, exactly like an HLS multiplier followed by a
+// shift.
+func (f Format) Mul(a, b int64) int64 {
+	wide := a * b
+	return f.saturate(roundShift(wide, uint(f.Frac)))
+}
+
+// MulAcc returns acc + a*b where acc is a *wide* (2f-fractional-bit)
+// accumulator; no saturation is applied, matching the exact wide accumulators
+// inside a PE's add tree. Use Finish to rescale the accumulator.
+func (f Format) MulAcc(acc, a, b int64) int64 { return acc + a*b }
+
+// Finish rescales a wide accumulator (2f fractional bits) back into the
+// storage format with saturation.
+func (f Format) Finish(acc int64) int64 {
+	return f.saturate(roundShift(acc, uint(f.Frac)))
+}
+
+// roundShift shifts v right by s bits rounding half away from zero.
+func roundShift(v int64, s uint) int64 {
+	if s == 0 {
+		return v
+	}
+	half := int64(1) << (s - 1)
+	if v >= 0 {
+		return (v + half) >> s
+	}
+	return -((-v + half) >> s)
+}
+
+// Vector is a fixed-point vector: raw values plus their shared format.
+type Vector struct {
+	Format Format
+	Raw    []int64
+}
+
+// NewVector quantizes xs into a fresh Vector.
+func NewVector(f Format, xs []float64) Vector {
+	raw := make([]int64, len(xs))
+	for i, x := range xs {
+		raw[i] = f.Quantize(x)
+	}
+	return Vector{Format: f, Raw: raw}
+}
+
+// Float64s dequantizes the vector.
+func (v Vector) Float64s() []float64 {
+	out := make([]float64, len(v.Raw))
+	for i, r := range v.Raw {
+		out[i] = v.Format.Dequantize(r)
+	}
+	return out
+}
+
+// Len returns the number of elements.
+func (v Vector) Len() int { return len(v.Raw) }
+
+// Dot computes the dot product of a and b (same format), returning the value
+// rescaled into the format with saturation. The accumulation itself is exact,
+// as in the hardware add tree.
+func Dot(a, b Vector) (int64, error) {
+	if a.Format != b.Format {
+		return 0, fmt.Errorf("fixedpoint: format mismatch %v vs %v", a.Format, b.Format)
+	}
+	if len(a.Raw) != len(b.Raw) {
+		return 0, fmt.Errorf("fixedpoint: length mismatch %d vs %d", len(a.Raw), len(b.Raw))
+	}
+	var acc int64
+	for i := range a.Raw {
+		acc = a.Format.MulAcc(acc, a.Raw[i], b.Raw[i])
+	}
+	return a.Format.Finish(acc), nil
+}
+
+// QuantizeSlice quantizes xs in bulk, writing raw values into dst (allocated
+// if nil) and returning it.
+func QuantizeSlice(f Format, xs []float32, dst []int64) []int64 {
+	if dst == nil {
+		dst = make([]int64, len(xs))
+	}
+	for i, x := range xs {
+		dst[i] = f.Quantize(float64(x))
+	}
+	return dst
+}
+
+// DequantizeSlice converts raw values to float32s, writing into dst
+// (allocated if nil) and returning it.
+func DequantizeSlice(f Format, raw []int64, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(raw))
+	}
+	for i, r := range raw {
+		dst[i] = float32(f.Dequantize(r))
+	}
+	return dst
+}
+
+// ReLU applies max(0, x) elementwise in place on raw values.
+func ReLU(raw []int64) {
+	for i, v := range raw {
+		if v < 0 {
+			raw[i] = 0
+		}
+	}
+}
+
+// Sigmoid computes the logistic function on a raw value by dequantizing,
+// evaluating in float64 and re-quantizing. The hardware implements this with
+// a small lookup table; the table's quantization error is subsumed by the
+// output format's resolution.
+func (f Format) Sigmoid(raw int64) int64 {
+	x := f.Dequantize(raw)
+	return f.Quantize(1 / (1 + math.Exp(-x)))
+}
+
+// AbsError returns |x - RoundTrip(x)|, the representation error for x inside
+// the representable range (and the saturation error outside it).
+func (f Format) AbsError(x float64) float64 {
+	return math.Abs(x - f.RoundTrip(x))
+}
+
+// Convert rescales a raw value from one format into another, saturating at
+// the destination's range — the requantization step between pipeline stages
+// that use different per-layer formats.
+func Convert(raw int64, from, to Format) int64 {
+	switch {
+	case to.Frac == from.Frac:
+		return to.saturate(raw)
+	case to.Frac > from.Frac:
+		shift := uint(to.Frac - from.Frac)
+		// Detect overflow before shifting left.
+		if raw > to.maxRaw()>>shift {
+			return to.maxRaw()
+		}
+		if raw < to.minRaw()>>shift {
+			return to.minRaw()
+		}
+		return raw << shift
+	default:
+		return to.saturate(roundShift(raw, uint(from.Frac-to.Frac)))
+	}
+}
+
+// FormatFor picks the widest-resolution format of the given bit width that
+// still represents values up to maxAbs without saturating — the calibration
+// rule used by per-layer quantization.
+func FormatFor(bits int, maxAbs float64) (Format, error) {
+	if bits != 16 && bits != 32 {
+		return Format{}, fmt.Errorf("fixedpoint: unsupported width %d", bits)
+	}
+	if maxAbs <= 0 || math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) {
+		return Format{}, fmt.Errorf("fixedpoint: maxAbs %v", maxAbs)
+	}
+	intBits := 1
+	for float64(int64(1)<<uint(intBits)) <= maxAbs {
+		intBits++
+		if intBits >= bits-1 {
+			break
+		}
+	}
+	frac := bits - 1 - intBits
+	if frac < 1 {
+		frac = 1
+	}
+	f := Format{Bits: bits, Frac: frac}
+	if err := f.Validate(); err != nil {
+		return Format{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,300 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatValidate(t *testing.T) {
+	cases := []struct {
+		f       Format
+		wantErr bool
+	}{
+		{Fixed16, false},
+		{Fixed32, false},
+		{Format{Bits: 16, Frac: 1}, false},
+		{Format{Bits: 16, Frac: 15}, true},
+		{Format{Bits: 16, Frac: 0}, true},
+		{Format{Bits: 8, Frac: 4}, true},
+		{Format{Bits: 64, Frac: 30}, true},
+		{Format{Bits: 32, Frac: 32}, true},
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if (err != nil) != c.wantErr {
+			t.Errorf("Validate(%+v) error = %v, wantErr %v", c.f, err, c.wantErr)
+		}
+	}
+}
+
+func TestFormatRanges(t *testing.T) {
+	// Embedding values (|x| < 8) must be representable in both formats.
+	for _, f := range []Format{Fixed16, Fixed32} {
+		if f.MaxValue() < 8 {
+			t.Errorf("%v max %v too small for embeddings", f, f.MaxValue())
+		}
+		if f.MinValue() > -8 {
+			t.Errorf("%v min %v too large for embeddings", f, f.MinValue())
+		}
+	}
+	// Post-activation sums (|x| < 256) must fit the 32-bit accumulated format.
+	if Fixed32.MaxValue() < 256 {
+		t.Errorf("Fixed32 max %v too small for activations", Fixed32.MaxValue())
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if got := Fixed16.String(); got != "Q5.10" {
+		t.Errorf("Fixed16.String() = %q, want Q5.10", got)
+	}
+	if got := Fixed32.String(); got != "Q13.18" {
+		t.Errorf("Fixed32.String() = %q, want Q13.18", got)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	for _, f := range []Format{Fixed16, Fixed32} {
+		for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.14159, -2.71828, 7.999} {
+			got := f.RoundTrip(x)
+			if math.Abs(got-x) > f.Resolution() {
+				t.Errorf("%v RoundTrip(%v) = %v, err %v > resolution %v",
+					f, x, got, math.Abs(got-x), f.Resolution())
+			}
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	for _, f := range []Format{Fixed16, Fixed32} {
+		if got := f.Quantize(1e12); got != f.maxRaw() {
+			t.Errorf("%v Quantize(+inf-ish) = %d, want max %d", f, got, f.maxRaw())
+		}
+		if got := f.Quantize(-1e12); got != f.minRaw() {
+			t.Errorf("%v Quantize(-inf-ish) = %d, want min %d", f, got, f.minRaw())
+		}
+		if got := f.Quantize(math.NaN()); got != 0 {
+			t.Errorf("%v Quantize(NaN) = %d, want 0", f, got)
+		}
+	}
+}
+
+func TestAddSubSaturate(t *testing.T) {
+	f := Fixed16
+	max, min := f.maxRaw(), f.minRaw()
+	if got := f.Add(max, 1); got != max {
+		t.Errorf("Add(max,1) = %d, want saturation at %d", got, max)
+	}
+	if got := f.Sub(min, 1); got != min {
+		t.Errorf("Sub(min,1) = %d, want saturation at %d", got, min)
+	}
+	if got := f.Add(100, 200); got != 300 {
+		t.Errorf("Add(100,200) = %d, want 300", got)
+	}
+}
+
+func TestMulMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []Format{Fixed16, Fixed32} {
+		for i := 0; i < 200; i++ {
+			x := rng.Float64()*8 - 4
+			y := rng.Float64()*8 - 4
+			a, b := f.Quantize(x), f.Quantize(y)
+			got := f.Dequantize(f.Mul(a, b))
+			want := f.RoundTrip(x) * f.RoundTrip(y)
+			// One multiplication introduces at most one LSB of rounding
+			// error on top of input representation error.
+			if math.Abs(got-want) > f.Resolution() {
+				t.Fatalf("%v Mul(%v,%v) = %v, want approx %v", f, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundShiftSymmetry(t *testing.T) {
+	// roundShift must round half away from zero symmetrically.
+	cases := []struct {
+		v    int64
+		s    uint
+		want int64
+	}{
+		{3, 1, 2}, {-3, 1, -2}, // 1.5 -> 2
+		{1, 1, 1}, {-1, 1, -1}, // 0.5 -> 1
+		{5, 2, 1}, {-5, 2, -1}, // 1.25 -> 1
+		{6, 2, 2}, {-6, 2, -2}, // 1.5 -> 2
+		{7, 0, 7},
+	}
+	for _, c := range cases {
+		if got := roundShift(c.v, c.s); got != c.want {
+			t.Errorf("roundShift(%d,%d) = %d, want %d", c.v, c.s, got, c.want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	f := Fixed16
+	a := NewVector(f, []float64{1, 2, 3})
+	b := NewVector(f, []float64{0.5, -1, 2})
+	got, err := Dot(a, b)
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	want := 1*0.5 - 2 + 3*2.0 // 4.5
+	if math.Abs(f.Dequantize(got)-want) > 2*f.Resolution() {
+		t.Errorf("Dot = %v, want %v", f.Dequantize(got), want)
+	}
+}
+
+func TestDotErrors(t *testing.T) {
+	a := NewVector(Fixed16, []float64{1})
+	b := NewVector(Fixed32, []float64{1})
+	if _, err := Dot(a, b); err == nil {
+		t.Error("Dot with mismatched formats: want error")
+	}
+	c := NewVector(Fixed16, []float64{1, 2})
+	if _, err := Dot(a, c); err == nil {
+		t.Error("Dot with mismatched lengths: want error")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	raw := []int64{-5, 0, 5, -1, 100}
+	ReLU(raw)
+	want := []int64{0, 0, 5, 0, 100}
+	for i := range raw {
+		if raw[i] != want[i] {
+			t.Errorf("ReLU[%d] = %d, want %d", i, raw[i], want[i])
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	f := Fixed32
+	if got := f.Dequantize(f.Sigmoid(f.Quantize(0))); math.Abs(got-0.5) > f.Resolution() {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	big := f.Dequantize(f.Sigmoid(f.Quantize(10)))
+	if big < 0.999 {
+		t.Errorf("Sigmoid(10) = %v, want near 1", big)
+	}
+	small := f.Dequantize(f.Sigmoid(f.Quantize(-10)))
+	if small > 0.001 {
+		t.Errorf("Sigmoid(-10) = %v, want near 0", small)
+	}
+}
+
+func TestQuantizeDequantizeSlices(t *testing.T) {
+	xs := []float32{0.25, -0.75, 3.5}
+	raw := QuantizeSlice(Fixed16, xs, nil)
+	back := DequantizeSlice(Fixed16, raw, nil)
+	for i := range xs {
+		if math.Abs(float64(back[i]-xs[i])) > Fixed16.Resolution() {
+			t.Errorf("slice round trip [%d]: got %v, want %v", i, back[i], xs[i])
+		}
+	}
+	// In-place destinations are reused.
+	dst := make([]int64, 3)
+	if got := QuantizeSlice(Fixed16, xs, dst); &got[0] != &dst[0] {
+		t.Error("QuantizeSlice did not reuse dst")
+	}
+}
+
+// Property: quantization error is bounded by half a resolution step inside
+// the representable range.
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	for _, f := range []Format{Fixed16, Fixed32} {
+		f := f
+		prop := func(frac float64) bool {
+			// Map arbitrary float into the representable range.
+			x := math.Mod(math.Abs(frac), f.MaxValue()-1)
+			if math.IsNaN(x) {
+				return true
+			}
+			return f.AbsError(x) <= f.Resolution()/2+1e-12
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+// Property: Add is commutative and Mul is commutative under saturation.
+func TestCommutativityProperty(t *testing.T) {
+	f := Fixed16
+	prop := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		return f.Add(x, y) == f.Add(y, x) && f.Mul(x, y) == f.Mul(y, x)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: saturation never produces values outside the raw range.
+func TestSaturationRangeProperty(t *testing.T) {
+	f := Fixed16
+	prop := func(a, b int16) bool {
+		for _, v := range []int64{f.Add(int64(a), int64(b)), f.Mul(int64(a), int64(b))} {
+			if v > f.maxRaw() || v < f.minRaw() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot of a vector with a one-hot basis vector recovers the element.
+func TestDotBasisProperty(t *testing.T) {
+	f := Fixed32
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for j := range xs {
+			xs[j] = rng.Float64()*4 - 2
+		}
+		v := NewVector(f, xs)
+		k := rng.Intn(n)
+		basis := make([]float64, n)
+		basis[k] = 1
+		e := NewVector(f, basis)
+		got, err := Dot(v, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.Dequantize(got)-f.RoundTrip(xs[k])) > 2*f.Resolution() {
+			t.Fatalf("basis dot: got %v, want %v", f.Dequantize(got), xs[k])
+		}
+	}
+}
+
+func BenchmarkQuantizeSlice(b *testing.B) {
+	xs := make([]float32, 1024)
+	for i := range xs {
+		xs[i] = float32(i%17) * 0.37
+	}
+	dst := make([]int64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QuantizeSlice(Fixed16, xs, dst)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	n := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%13) * 0.21
+	}
+	v := NewVector(Fixed16, xs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dot(v, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package hotcache implements an extension the paper positions as
+// complementary future work (§6, citing RecNMP's memory-side caching): an
+// on-chip cache of frequently accessed embedding rows in front of the DRAM
+// lookup path.
+//
+// Production embedding traffic is heavily skewed, so a small cache of hot
+// rows absorbs a large share of random DRAM accesses. The package provides a
+// byte-capacity LRU over (table, row) keys and a simulator that measures hit
+// rates and the modeled effective lookup latency for a query stream.
+package hotcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"microrec/internal/embedding"
+	"microrec/internal/model"
+)
+
+// key identifies one cached embedding row.
+type key struct {
+	table int
+	row   int64
+}
+
+type entry struct {
+	key   key
+	bytes int
+}
+
+// Cache is a byte-capacity LRU of embedding rows.
+type Cache struct {
+	capacity int64
+	used     int64
+	ll       *list.List
+	index    map[key]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// New creates a cache with the given byte capacity.
+func New(capacityBytes int64) (*Cache, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("hotcache: capacity %d", capacityBytes)
+	}
+	return &Cache{
+		capacity: capacityBytes,
+		ll:       list.New(),
+		index:    make(map[key]*list.Element),
+	}, nil
+}
+
+// Lookup checks whether (table, row) is cached; on a miss the row is
+// inserted (evicting least-recently-used rows as needed). bytes is the row's
+// storage size. Returns true on a hit.
+func (c *Cache) Lookup(table int, row int64, bytes int) bool {
+	if bytes <= 0 || int64(bytes) > c.capacity {
+		// Uncacheable row: count as a miss without perturbing the cache.
+		c.misses++
+		return false
+	}
+	k := key{table: table, row: row}
+	if el, ok := c.index[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	for c.used+int64(bytes) > c.capacity {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ev := oldest.Value.(entry)
+		c.used -= int64(ev.bytes)
+		delete(c.index, ev.key)
+		c.ll.Remove(oldest)
+	}
+	c.index[k] = c.ll.PushFront(entry{key: k, bytes: bytes})
+	c.used += int64(bytes)
+	return false
+}
+
+// Stats summarises cache behaviour.
+type Stats struct {
+	Hits, Misses int64
+	UsedBytes    int64
+	Entries      int
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, UsedBytes: c.used, Entries: c.ll.Len()}
+}
+
+// HitRate returns hits / (hits+misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Reset clears counters but keeps cached contents (for warmup/measure
+// protocols).
+func (c *Cache) ResetStats() {
+	c.hits, c.misses = 0, 0
+}
+
+// Result is the outcome of simulating a query stream against the cache.
+type Result struct {
+	Stats Stats
+	// EffectiveAccessNS is the modeled per-access latency:
+	// hitRate*hitNS + (1-hitRate)*missNS.
+	EffectiveAccessNS float64
+	// MissAccessNS and HitAccessNS echo the model inputs.
+	HitAccessNS, MissAccessNS float64
+}
+
+// Simulate runs queries against a fresh cache for the given model, counting
+// one access per table lookup. hitNS/missNS are the per-access latencies of
+// the on-chip cache and the DRAM path. A warmup fraction of the stream
+// populates the cache before counters start.
+func Simulate(spec *model.Spec, queries []embedding.Query, capacityBytes int64, hitNS, missNS float64, warmup int) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if warmup < 0 || warmup >= len(queries) {
+		return Result{}, fmt.Errorf("hotcache: warmup %d out of range for %d queries", warmup, len(queries))
+	}
+	if hitNS < 0 || missNS < hitNS {
+		return Result{}, fmt.Errorf("hotcache: implausible latencies hit=%v miss=%v", hitNS, missNS)
+	}
+	c, err := New(capacityBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	for qi, q := range queries {
+		if qi == warmup {
+			c.ResetStats()
+		}
+		if len(q) != len(spec.Tables) {
+			return Result{}, fmt.Errorf("hotcache: query %d covers %d tables, model has %d", qi, len(q), len(spec.Tables))
+		}
+		for ti, idxs := range q {
+			rowBytes := spec.Tables[ti].VectorBytes()
+			for _, row := range idxs {
+				c.Lookup(ti, row, rowBytes)
+			}
+		}
+	}
+	st := c.Stats()
+	hr := st.HitRate()
+	return Result{
+		Stats:             st,
+		EffectiveAccessNS: hr*hitNS + (1-hr)*missNS,
+		HitAccessNS:       hitNS,
+		MissAccessNS:      missNS,
+	}, nil
+}

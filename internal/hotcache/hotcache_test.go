@@ -1,0 +1,214 @@
+package hotcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microrec/internal/embedding"
+	"microrec/internal/model"
+	"microrec/internal/workload"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("capacity 0: want error")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("negative capacity: want error")
+	}
+}
+
+func TestLookupHitMiss(t *testing.T) {
+	c, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0, 1, 16) {
+		t.Error("first access should miss")
+	}
+	if !c.Lookup(0, 1, 16) {
+		t.Error("second access should hit")
+	}
+	if c.Lookup(1, 1, 16) {
+		t.Error("different table should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 || st.UsedBytes != 32 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(48) // room for 3 x 16B rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(0, 1, 16)
+	c.Lookup(0, 2, 16)
+	c.Lookup(0, 3, 16)
+	// Touch row 1 so row 2 becomes the LRU victim.
+	if !c.Lookup(0, 1, 16) {
+		t.Fatal("row 1 should hit")
+	}
+	c.Lookup(0, 4, 16) // evicts row 2
+	if c.Lookup(0, 2, 16) {
+		t.Error("row 2 should have been evicted")
+	}
+	if !c.Lookup(0, 1, 16) {
+		t.Error("row 1 should still be cached")
+	}
+	if got := c.Stats().UsedBytes; got > 48 {
+		t.Errorf("used %d bytes > capacity", got)
+	}
+}
+
+func TestOversizedRowUncacheable(t *testing.T) {
+	c, err := New(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0, 1, 64) {
+		t.Error("oversized row should miss")
+	}
+	if c.Lookup(0, 1, 64) {
+		t.Error("oversized row should keep missing (not inserted)")
+	}
+	if c.Stats().Entries != 0 {
+		t.Error("oversized row was inserted")
+	}
+	if c.Lookup(0, 2, 0) {
+		t.Error("zero-byte row should miss")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(0, 1, 16)
+	c.ResetStats()
+	if !c.Lookup(0, 1, 16) {
+		t.Error("contents lost on ResetStats")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestSimulateZipfBeatsUniform(t *testing.T) {
+	spec := model.SmallProduction()
+	const n = 400
+	mk := func(dist workload.Distribution) Result {
+		g, err := workload.NewGenerator(spec, dist, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := g.Batch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(spec, qs, 4<<20, 110, 480, n/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	zipf := mk(workload.Zipf)
+	uni := mk(workload.Uniform)
+	if zipf.Stats.HitRate() <= uni.Stats.HitRate() {
+		t.Errorf("zipf hit rate %.2f <= uniform %.2f — skew should help the cache",
+			zipf.Stats.HitRate(), uni.Stats.HitRate())
+	}
+	if zipf.Stats.HitRate() < 0.5 {
+		t.Errorf("zipf hit rate %.2f — expected a hot-head workload to mostly hit", zipf.Stats.HitRate())
+	}
+	if zipf.EffectiveAccessNS >= uni.EffectiveAccessNS {
+		t.Error("zipf effective latency should beat uniform")
+	}
+	if zipf.EffectiveAccessNS < zipf.HitAccessNS || zipf.EffectiveAccessNS > zipf.MissAccessNS {
+		t.Errorf("effective latency %.0f outside [hit, miss]", zipf.EffectiveAccessNS)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	spec := model.SmallProduction()
+	g, err := workload.NewGenerator(spec, workload.Uniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := g.Batch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(spec, qs, 1024, 100, 400, 4); err == nil {
+		t.Error("warmup == len: want error")
+	}
+	if _, err := Simulate(spec, qs, 1024, 400, 100, 0); err == nil {
+		t.Error("miss faster than hit: want error")
+	}
+	if _, err := Simulate(spec, qs, 0, 100, 400, 0); err == nil {
+		t.Error("zero capacity: want error")
+	}
+	bad := qs[0][:3]
+	if _, err := Simulate(spec, []embedding.Query{bad}, 1024, 100, 400, 0); err == nil {
+		t.Error("short query: want error")
+	}
+	if _, err := Simulate(&model.Spec{Name: "bad"}, qs, 1024, 100, 400, 0); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}
+
+// Property: used bytes never exceed capacity, regardless of access pattern.
+func TestCapacityInvariantProperty(t *testing.T) {
+	prop := func(rows []uint8) bool {
+		c, err := New(64)
+		if err != nil {
+			return false
+		}
+		for _, r := range rows {
+			c.Lookup(int(r)%3, int64(r), int(r)%24+4)
+			if c.Stats().UsedBytes > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit rate is always within [0, 1] and hits+misses equals accesses.
+func TestStatsConsistencyProperty(t *testing.T) {
+	prop := func(rows []uint16) bool {
+		c, err := New(256)
+		if err != nil {
+			return false
+		}
+		for _, r := range rows {
+			c.Lookup(0, int64(r%32), 16)
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != int64(len(rows)) {
+			return false
+		}
+		hr := st.HitRate()
+		return hr >= 0 && hr <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c, err := New(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(i%47, int64(i%4096), 64)
+	}
+}

@@ -1,0 +1,72 @@
+package memsim
+
+// Row-buffer locality analysis, quantifying §3.3's core claim: embedding
+// vectors are so short that a random DRAM access is dominated by row
+// activation, so merging two tables into one longer-vector table saves
+// "almost 2x" — the sequential tail of the merged access is cheap compared
+// to a second full random access.
+
+// AccessBreakdown decomposes one access's latency into its fixed (pipe+row)
+// and streaming (per-byte) parts.
+type AccessBreakdown struct {
+	FixedNS     float64
+	StreamingNS float64
+}
+
+// Breakdown returns the cost decomposition of one access.
+func (t Timing) Breakdown(bytes int) AccessBreakdown {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return AccessBreakdown{
+		FixedNS:     t.PipeNS + t.RowNS,
+		StreamingNS: float64(bytes) * t.PerByteNS,
+	}
+}
+
+// TotalNS returns the access latency.
+func (b AccessBreakdown) TotalNS() float64 { return b.FixedNS + b.StreamingNS }
+
+// FixedShare returns the fraction of the access spent on row activation and
+// controller latency rather than data movement. For typical embedding
+// vectors (16–256 B) this exceeds 50%, which is why halving the access count
+// nearly halves lookup latency (§3.3).
+func (b AccessBreakdown) FixedShare() float64 {
+	total := b.TotalNS()
+	if total == 0 {
+		return 0
+	}
+	return b.FixedNS / total
+}
+
+// MergeGain returns the speedup of retrieving two vectors through one merged
+// (Cartesian-product) access instead of two separate random accesses:
+//
+//	gain = (access(a) + access(b)) / access(a+b)
+//
+// For short vectors the gain approaches 2 (the paper's "speedup of almost
+// 2x"); it decays toward 1 as vectors grow long enough to amortise the row
+// activation.
+func MergeGain(t Timing, bytesA, bytesB int) float64 {
+	separate := t.AccessNS(bytesA) + t.AccessNS(bytesB)
+	merged := t.AccessNS(bytesA + bytesB)
+	if merged == 0 {
+		return 1
+	}
+	return separate / merged
+}
+
+// MergeGainK generalises MergeGain to k-way merges.
+func MergeGainK(t Timing, bytes []int) float64 {
+	var separate float64
+	total := 0
+	for _, b := range bytes {
+		separate += t.AccessNS(b)
+		total += b
+	}
+	merged := t.AccessNS(total)
+	if merged == 0 || len(bytes) == 0 {
+		return 1
+	}
+	return separate / merged
+}

@@ -1,0 +1,86 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownShares(t *testing.T) {
+	// For typical embedding vectors, the fixed (row+pipe) cost dominates —
+	// the premise of the Cartesian-product argument (§3.3).
+	for _, dim := range []int{4, 8, 16, 32, 64} {
+		b := HBMTiming.Breakdown(dim * 4)
+		if b.FixedShare() < 0.48 {
+			t.Errorf("dim %d: fixed share %.2f — streaming should not dominate", dim, b.FixedShare())
+		}
+	}
+	if got := HBMTiming.Breakdown(-1).StreamingNS; got != 0 {
+		t.Errorf("negative bytes streaming = %v", got)
+	}
+	zero := AccessBreakdown{}
+	if zero.FixedShare() != 0 {
+		t.Error("zero breakdown share should be 0")
+	}
+}
+
+func TestMergeGainNearTwoForShortVectors(t *testing.T) {
+	// §3.3: "reducing the memory accesses by half can lead to a speedup of
+	// almost 2x" for short embedding vectors.
+	for _, c := range []struct {
+		dim     int
+		minGain float64
+	}{{4, 1.8}, {8, 1.75}, {16, 1.6}} {
+		gain := MergeGain(HBMTiming, c.dim*4, c.dim*4)
+		if gain < c.minGain || gain >= 2.0 {
+			t.Errorf("dim %d merge gain = %.2f, want in [%.2f, 2.0)", c.dim, gain, c.minGain)
+		}
+	}
+}
+
+func TestMergeGainDecaysWithVectorLength(t *testing.T) {
+	prev := 2.0
+	for _, dim := range []int{4, 16, 64, 256, 1024, 8192} {
+		gain := MergeGain(HBMTiming, dim*4, dim*4)
+		if gain >= prev {
+			t.Errorf("dim %d: gain %.3f did not decay (prev %.3f)", dim, gain, prev)
+		}
+		prev = gain
+	}
+	// Very long vectors: spatial locality amortises the row cost and the
+	// gain approaches 1.
+	if g := MergeGain(HBMTiming, 1<<20, 1<<20); g > 1.05 {
+		t.Errorf("1 MB merge gain = %.3f, want near 1", g)
+	}
+}
+
+func TestMergeGainKMatchesPairwise(t *testing.T) {
+	g2 := MergeGain(HBMTiming, 16, 32)
+	gk := MergeGainK(HBMTiming, []int{16, 32})
+	if g2 != gk {
+		t.Errorf("MergeGainK(2) = %v, MergeGain = %v", gk, g2)
+	}
+	// Three-way merges of tiny vectors approach 3x.
+	g3 := MergeGainK(HBMTiming, []int{16, 16, 16})
+	if g3 < 2.4 || g3 >= 3.0 {
+		t.Errorf("3-way merge gain = %.2f, want in [2.4, 3.0)", g3)
+	}
+	if MergeGainK(HBMTiming, nil) != 1 {
+		t.Error("empty merge should gain 1")
+	}
+	if MergeGainK(Timing{}, []int{4}) != 1 {
+		t.Error("zero-cost timing should gain 1")
+	}
+}
+
+// Property: merge gain is always in [1, k] for k-way merges of non-negative
+// sizes.
+func TestMergeGainBoundsProperty(t *testing.T) {
+	prop := func(a, b, c uint8) bool {
+		sizes := []int{int(a), int(b), int(c)}
+		g := MergeGainK(HBMTiming, sizes)
+		return g >= 1-1e-9 && g <= 3+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Characterization quantifies a model's workload the way Figure 1's
+// specification panel does: the embedding stage is dominated by many small
+// random memory accesses, the FC tower by dense arithmetic.
+type Characterization struct {
+	Name string
+	// Embedding stage.
+	Tables             int
+	LookupsPerItem     int
+	EmbeddingBytesItem int64 // bytes gathered per inference
+	AvgVectorBytes     float64
+	StorageBytes       int64
+	LargestTableBytes  int64
+	SmallestTableBytes int64
+	// FC tower.
+	FCOpsPerItem int64
+	FCParamBytes int64
+	FeatureLen   int
+	// OpsPerByte is the FC operations per embedding byte gathered — the
+	// arithmetic intensity that decides memory- vs compute-boundedness.
+	OpsPerByte float64
+	// SizeHistogram counts tables per size class.
+	SizeHistogram []SizeBucket
+}
+
+// SizeBucket is one size-class count.
+type SizeBucket struct {
+	Label string
+	Max   int64 // inclusive upper bound in bytes; 0 = unbounded
+	Count int
+}
+
+// Characterize computes the workload characterization of a spec.
+func Characterize(s *Spec) (Characterization, error) {
+	if err := s.Validate(); err != nil {
+		return Characterization{}, err
+	}
+	c := Characterization{
+		Name:           s.Name,
+		Tables:         len(s.Tables),
+		LookupsPerItem: s.NumLookups(),
+		StorageBytes:   s.TotalBytes(),
+		FCOpsPerItem:   s.OpsPerItem(),
+		FeatureLen:     s.FeatureLen(),
+	}
+	c.SmallestTableBytes = s.Tables[0].Bytes()
+	for _, t := range s.Tables {
+		c.EmbeddingBytesItem += int64(t.VectorBytes() * t.Lookups)
+		if b := t.Bytes(); b > c.LargestTableBytes {
+			c.LargestTableBytes = b
+		}
+		if b := t.Bytes(); b < c.SmallestTableBytes {
+			c.SmallestTableBytes = b
+		}
+	}
+	c.AvgVectorBytes = float64(c.EmbeddingBytesItem) / float64(c.LookupsPerItem)
+	for _, d := range s.LayerDims() {
+		c.FCParamBytes += int64(d[0]) * int64(d[1]) * FloatBytes
+	}
+	if c.EmbeddingBytesItem > 0 {
+		c.OpsPerByte = float64(c.FCOpsPerItem) / float64(c.EmbeddingBytesItem)
+	}
+	c.SizeHistogram = histogram(s)
+	return c, nil
+}
+
+func histogram(s *Spec) []SizeBucket {
+	buckets := []SizeBucket{
+		{Label: "<= 64 KiB", Max: 64 << 10},
+		{Label: "<= 1 MiB", Max: 1 << 20},
+		{Label: "<= 64 MiB", Max: 64 << 20},
+		{Label: "<= 1 GiB", Max: 1 << 30},
+		{Label: "> 1 GiB", Max: 0},
+	}
+	for _, t := range s.Tables {
+		b := t.Bytes()
+		placed := false
+		for i := range buckets {
+			if buckets[i].Max > 0 && b <= buckets[i].Max {
+				buckets[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets[len(buckets)-1].Count++
+		}
+	}
+	return buckets
+}
+
+// DimDistribution returns the sorted distinct embedding dims with counts —
+// the "4 to 64 elements in most cases" observation of §3.3.
+func DimDistribution(s *Spec) map[int]int {
+	out := make(map[int]int)
+	for _, t := range s.Tables {
+		out[t.Dim]++
+	}
+	return out
+}
+
+// DimsSorted returns the distinct dims ascending.
+func DimsSorted(s *Spec) []int {
+	set := DimDistribution(s)
+	dims := make([]int, 0, len(set))
+	for d := range set {
+		dims = append(dims, d)
+	}
+	sort.Ints(dims)
+	return dims
+}
+
+// String renders a compact one-line summary.
+func (c Characterization) String() string {
+	return fmt.Sprintf("%s: %d tables, %d lookups/item, %d B gathered/item, %.2f MOP/item, %.0f op/B",
+		c.Name, c.Tables, c.LookupsPerItem, c.EmbeddingBytesItem,
+		float64(c.FCOpsPerItem)/1e6, c.OpsPerByte)
+}

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCharacterizeSmall(t *testing.T) {
+	s := SmallProduction()
+	c, err := Characterize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tables != 47 || c.LookupsPerItem != 47 {
+		t.Errorf("tables/lookups = %d/%d", c.Tables, c.LookupsPerItem)
+	}
+	// Bytes gathered per inference = featureLen * 4 (each table looked up
+	// once, no dense features).
+	if c.EmbeddingBytesItem != int64(s.FeatureLen()*4) {
+		t.Errorf("gathered bytes = %d, want %d", c.EmbeddingBytesItem, s.FeatureLen()*4)
+	}
+	// The model is compute-heavy per gathered byte (FC ops dominate), but
+	// the *memory accesses* are random — both facts the paper leans on.
+	if c.OpsPerByte < 100 {
+		t.Errorf("ops/byte = %.0f, expected >> 1 (FC tower dominates arithmetic)", c.OpsPerByte)
+	}
+	if c.LargestTableBytes < 1_000_000_000 {
+		t.Errorf("largest table %d B, want ~1 GB (user_id)", c.LargestTableBytes)
+	}
+	if c.SmallestTableBytes > 64<<10 {
+		t.Errorf("smallest table %d B, want tiny", c.SmallestTableBytes)
+	}
+	if !strings.Contains(c.String(), "production-small") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestCharacterizeHistogramCoversAllTables(t *testing.T) {
+	for _, s := range []*Spec{SmallProduction(), LargeProduction()} {
+		c, err := Characterize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range c.SizeHistogram {
+			total += b.Count
+		}
+		if total != len(s.Tables) {
+			t.Errorf("%s: histogram covers %d of %d tables", s.Name, total, len(s.Tables))
+		}
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize(&Spec{Name: "bad"}); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}
+
+func TestDimDistribution(t *testing.T) {
+	s := SmallProduction()
+	dist := DimDistribution(s)
+	// Table 1 construction: 30 dim-4, 10 dim-8, 4 dim-16, 1 dim-24, 2 dim-32.
+	want := map[int]int{4: 30, 8: 10, 16: 4, 24: 1, 32: 2}
+	for d, n := range want {
+		if dist[d] != n {
+			t.Errorf("dim %d count = %d, want %d", d, dist[d], n)
+		}
+	}
+	dims := DimsSorted(s)
+	for i := 1; i < len(dims); i++ {
+		if dims[i] <= dims[i-1] {
+			t.Error("DimsSorted not ascending")
+		}
+	}
+	// §3.3: vectors have 4 to 64 elements in most cases.
+	if dims[0] < 4 || dims[len(dims)-1] > 64 {
+		t.Errorf("dims %v outside the paper's 4-64 range", dims)
+	}
+}

@@ -1,0 +1,141 @@
+package model
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"microrec/internal/tensor"
+)
+
+func newMatrixFromWire(m matrixWire) *tensor.Matrix {
+	return &tensor.Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+// Serialization lets deployments persist model specifications (portable
+// JSON) and materialised parameters (gob) — the artefacts a serving fleet
+// ships around.
+
+// SaveSpec writes the spec as indented JSON.
+func SaveSpec(w io.Writer, s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("model: encoding spec: %w", err)
+	}
+	return nil
+}
+
+// LoadSpec reads a JSON spec and validates it.
+func LoadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// parametersWire is the gob wire format of Parameters. Weights are flattened
+// because tensor.Matrix's fields are already exported but we keep the wire
+// format independent of its layout.
+type parametersWire struct {
+	Spec       *Spec
+	Embeddings [][]float32
+	ActualRows []int64
+	Weights    []matrixWire
+	Biases     [][]float32
+}
+
+type matrixWire struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// SaveParameters writes materialised parameters in gob format.
+func SaveParameters(w io.Writer, p *Parameters) error {
+	if p == nil || p.Spec == nil {
+		return fmt.Errorf("model: nil parameters")
+	}
+	wire := parametersWire{
+		Spec:       p.Spec,
+		Embeddings: p.Embeddings,
+		ActualRows: p.ActualRows,
+		Biases:     p.Biases,
+	}
+	for _, m := range p.Weights {
+		wire.Weights = append(wire.Weights, matrixWire{Rows: m.Rows, Cols: m.Cols, Data: m.Data})
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("model: encoding parameters: %w", err)
+	}
+	return nil
+}
+
+// LoadParameters reads gob-encoded parameters and validates shape
+// consistency against the embedded spec.
+func LoadParameters(r io.Reader) (*Parameters, error) {
+	var wire parametersWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("model: decoding parameters: %w", err)
+	}
+	if wire.Spec == nil {
+		return nil, fmt.Errorf("model: parameters missing spec")
+	}
+	if err := wire.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Parameters{
+		Spec:       wire.Spec,
+		Embeddings: wire.Embeddings,
+		ActualRows: wire.ActualRows,
+		Biases:     wire.Biases,
+	}
+	for _, m := range wire.Weights {
+		if m.Rows*m.Cols != len(m.Data) {
+			return nil, fmt.Errorf("model: weight matrix %dx%d carries %d values", m.Rows, m.Cols, len(m.Data))
+		}
+		p.Weights = append(p.Weights, newMatrixFromWire(m))
+	}
+	if err := p.validateShapes(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validateShapes cross-checks loaded parameters against their spec.
+func (p *Parameters) validateShapes() error {
+	s := p.Spec
+	if len(p.Embeddings) != len(s.Tables) || len(p.ActualRows) != len(s.Tables) {
+		return fmt.Errorf("model: parameters cover %d tables, spec has %d", len(p.Embeddings), len(s.Tables))
+	}
+	for i, t := range s.Tables {
+		rows := p.ActualRows[i]
+		if rows < 1 || rows > t.Rows {
+			return fmt.Errorf("model: table %q actual rows %d out of range", t.Name, rows)
+		}
+		if int64(len(p.Embeddings[i])) != rows*int64(t.Dim) {
+			return fmt.Errorf("model: table %q storage %d floats, want %d", t.Name, len(p.Embeddings[i]), rows*int64(t.Dim))
+		}
+	}
+	dims := s.LayerDims()
+	if len(p.Weights) != len(dims) || len(p.Biases) != len(dims) {
+		return fmt.Errorf("model: parameters carry %d layers, spec needs %d", len(p.Weights), len(dims))
+	}
+	for l, d := range dims {
+		if p.Weights[l].Rows != d[0] || p.Weights[l].Cols != d[1] {
+			return fmt.Errorf("model: layer %d weights %dx%d, want %dx%d",
+				l, p.Weights[l].Rows, p.Weights[l].Cols, d[0], d[1])
+		}
+		if len(p.Biases[l]) != d[1] {
+			return fmt.Errorf("model: layer %d bias %d, want %d", l, len(p.Biases[l]), d[1])
+		}
+	}
+	return nil
+}

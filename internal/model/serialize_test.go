@@ -1,0 +1,118 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := SmallProduction()
+	var buf bytes.Buffer
+	if err := SaveSpec(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Tables) != len(s.Tables) || got.FeatureLen() != s.FeatureLen() {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	for i := range s.Tables {
+		if got.Tables[i] != s.Tables[i] {
+			t.Fatalf("table %d differs: %+v vs %+v", i, got.Tables[i], s.Tables[i])
+		}
+	}
+}
+
+func TestSaveSpecRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSpec(&buf, &Spec{Name: "bad"}); err == nil {
+		t.Error("invalid spec: want error")
+	}
+}
+
+func TestLoadSpecRejectsBadInput(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json: want error")
+	}
+	// Valid JSON but invalid spec (no tables).
+	if _, err := LoadSpec(strings.NewReader(`{"Name":"x","Hidden":[8]}`)); err == nil {
+		t.Error("spec without tables: want error")
+	}
+}
+
+func TestParametersGobRoundTrip(t *testing.T) {
+	s := SmallProduction()
+	p, err := s.Materialize(MaterializeOptions{Seed: 9, MaxRowsPerTable: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParameters(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != s.Name {
+		t.Errorf("spec name %q", got.Spec.Name)
+	}
+	for i := range p.Embeddings {
+		if len(got.Embeddings[i]) != len(p.Embeddings[i]) {
+			t.Fatalf("table %d storage differs", i)
+		}
+		for j := range p.Embeddings[i] {
+			if got.Embeddings[i][j] != p.Embeddings[i][j] {
+				t.Fatalf("table %d value %d differs", i, j)
+			}
+		}
+	}
+	for l := range p.Weights {
+		if got.Weights[l].Rows != p.Weights[l].Rows || got.Weights[l].Cols != p.Weights[l].Cols {
+			t.Fatalf("layer %d shape differs", l)
+		}
+		for j := range p.Weights[l].Data {
+			if got.Weights[l].Data[j] != p.Weights[l].Data[j] {
+				t.Fatalf("layer %d weight %d differs", l, j)
+			}
+		}
+	}
+}
+
+func TestLoadParametersValidates(t *testing.T) {
+	if _, err := LoadParameters(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage gob: want error")
+	}
+	if err := SaveParameters(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil params: want error")
+	}
+	// Corrupt shape: serialize then tamper via the wire structs.
+	s := SmallProduction()
+	p, err := s.Materialize(MaterializeOptions{Seed: 1, MaxRowsPerTable: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Embeddings[0] = p.Embeddings[0][:4] // break table 0's storage
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParameters(&buf); err == nil {
+		t.Error("corrupted embedding storage: want error on load")
+	}
+}
+
+func TestValidateShapesCatchesWeightMismatch(t *testing.T) {
+	s := SmallProduction()
+	p, err := s.Materialize(MaterializeOptions{Seed: 1, MaxRowsPerTable: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Biases[0] = p.Biases[0][:3]
+	if err := p.validateShapes(); err == nil {
+		t.Error("short bias: want error")
+	}
+}

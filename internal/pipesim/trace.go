@@ -1,0 +1,64 @@
+package pipesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// StageEvent records one item's occupancy of one stage during a simulation.
+type StageEvent struct {
+	Item    int
+	Stage   int
+	Name    string
+	StartNS float64
+	EndNS   float64
+}
+
+// Trace simulates `items` items and records every stage occupancy, for
+// debugging pipeline balance and for visual inspection via ChromeTrace.
+// The timing semantics are identical to Simulate (both evaluate the same
+// recurrence).
+func (p *Pipeline) Trace(items int) ([]StageEvent, Result, error) {
+	events := make([]StageEvent, 0, items*len(p.stages))
+	res, err := p.run(items, func(e StageEvent) { events = append(events, e) })
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return events, res, nil
+}
+
+// chromeEvent is the Chrome trace-event format (complete events, "X" phase).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// ChromeTrace writes the events as a chrome://tracing / Perfetto-compatible
+// JSON array. Each stage becomes a track (tid) and each item an event on it.
+func ChromeTrace(w io.Writer, events []StageEvent) error {
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name: fmt.Sprintf("item %d", e.Item),
+			Cat:  e.Name,
+			Ph:   "X",
+			TS:   e.StartNS / 1e3,
+			Dur:  (e.EndNS - e.StartNS) / 1e3,
+			PID:  0,
+			TID:  e.Stage,
+			Args: map[string]any{"stage": e.Name},
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("pipesim: encoding trace: %w", err)
+	}
+	return nil
+}

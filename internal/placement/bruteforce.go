@@ -1,0 +1,150 @@
+package placement
+
+import (
+	"fmt"
+
+	"microrec/internal/cartesian"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+)
+
+// BruteForceLimits bounds the exponential search of §3.4.1 so it stays
+// tractable; beyond them BruteForce refuses to run.
+type BruteForceLimits struct {
+	// MaxTables bounds the model size (pairings grow super-exponentially).
+	MaxTables int
+	// MaxExhaustiveTables bounds exhaustive bank assignment; larger
+	// instances fall back to the greedy allocator for the allocation step
+	// while still enumerating all pairings.
+	MaxExhaustiveTables int
+}
+
+// DefaultBruteForceLimits keeps the search under a second on small instances.
+var DefaultBruteForceLimits = BruteForceLimits{MaxTables: 10, MaxExhaustiveTables: 6}
+
+// BruteForce exhaustively searches all pairings of tables into Cartesian
+// products (including "no product") and, for small instances, all bank
+// assignments, returning the optimal plan under the latency-then-storage
+// objective. It exists to validate the heuristic (§3.4.1 explains why it is
+// infeasible at production scale).
+func BruteForce(spec *model.Spec, sys memsim.System, opts Options, limits BruteForceLimits) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if limits.MaxTables == 0 {
+		limits = DefaultBruteForceLimits
+	}
+	if len(spec.Tables) > limits.MaxTables {
+		return nil, fmt.Errorf("placement: brute force limited to %d tables, model has %d",
+			limits.MaxTables, len(spec.Tables))
+	}
+	opts = opts.withDefaults()
+
+	var best *Result
+	consider := func(groups [][]int) error {
+		layout, err := cartesian.Apply(spec, groups)
+		if err != nil {
+			return err
+		}
+		var res *Result
+		if len(layout.Tables) <= limits.MaxExhaustiveTables {
+			res = exhaustiveAllocate(layout, sys)
+		}
+		if res == nil {
+			r, err := allocate(layout, sys, opts)
+			if err != nil {
+				return nil // infeasible under greedy; skip
+			}
+			res = r
+		}
+		merged := 0
+		for _, g := range groups {
+			merged += len(g)
+		}
+		res.CandidateCount = merged
+		if better(res, best) {
+			best = res
+		}
+		return nil
+	}
+
+	ids := make([]int, len(spec.Tables))
+	for i, t := range spec.Tables {
+		ids[i] = t.ID
+	}
+	if !opts.EnableCartesian {
+		if err := consider(nil); err != nil {
+			return nil, err
+		}
+	} else if err := forEachPairing(ids, nil, consider); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("placement: brute force found no feasible plan for %q", spec.Name)
+	}
+	return best, nil
+}
+
+// forEachPairing enumerates all partitions of ids into singletons and pairs
+// (involutions), invoking fn with the pair groups of each.
+func forEachPairing(ids []int, groups [][]int, fn func([][]int) error) error {
+	if len(ids) == 0 {
+		return fn(groups)
+	}
+	first, rest := ids[0], ids[1:]
+	// first stays single.
+	if err := forEachPairing(rest, groups, fn); err != nil {
+		return err
+	}
+	// first pairs with each remaining id.
+	for i := range rest {
+		next := make([]int, 0, len(rest)-1)
+		next = append(next, rest[:i]...)
+		next = append(next, rest[i+1:]...)
+		if err := forEachPairing(next, append(groups, []int{first, rest[i]}), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exhaustiveAllocate tries every bank assignment and returns the best
+// feasible one, or nil if none exists (or the instance is too large).
+func exhaustiveAllocate(layout *cartesian.Layout, sys memsim.System) *Result {
+	nt := len(layout.Tables)
+	nb := len(sys.Banks)
+	if nb == 0 || nt == 0 {
+		return nil
+	}
+	// nb^nt assignments; callers bound nt.
+	total := 1
+	for i := 0; i < nt; i++ {
+		total *= nb
+		if total > 1<<20 {
+			return nil
+		}
+	}
+	var best *Result
+	assign := make([]int, nt)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := 0; i < nt; i++ {
+			assign[i] = c % nb
+			c /= nb
+		}
+		res := &Result{
+			Layout: layout,
+			BankOf: append([]int(nil), assign...),
+			System: sys,
+		}
+		rep, err := sys.Evaluate(res.Loads())
+		if err != nil {
+			continue // capacity violation
+		}
+		res.Report = rep
+		if better(res, best) {
+			best = res
+		}
+	}
+	return best
+}

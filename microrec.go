@@ -1,0 +1,214 @@
+// Package microrec is a Go reproduction of MicroRec (Jiang et al., MLSys
+// 2021): a high-performance recommendation-inference engine that combines
+// Cartesian-product embedding-table merging with the parallel lookup
+// capacity of an HBM-equipped FPGA and a deeply pipelined dataflow design.
+//
+// The package exposes the system a downstream user needs:
+//
+//   - model specifications (the paper's two production-scale models, the
+//     Facebook DLRM-RMC2 benchmark class, or custom specs),
+//   - the placement planner (Algorithm 1: Cartesian-product table
+//     combination plus hybrid-memory allocation),
+//   - the MicroRec engine: functional fixed-point CTR inference with a
+//     calibrated cycle-level timing model of the Alveo U280 design, and
+//   - a real multi-core CPU baseline engine plus the calibrated analytic
+//     model of the paper's TensorFlow-Serving testbed.
+//
+// Quick start:
+//
+//	spec := microrec.SmallProductionModel()
+//	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{})
+//	...
+//	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 42)
+//	queries, err := gen.Batch(64)
+//	res, err := eng.Infer(queries)
+//	fmt.Println(res.Predictions[0], res.Timing.LatencyNS)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package microrec
+
+import (
+	"fmt"
+
+	"microrec/internal/core"
+	"microrec/internal/cpu"
+	"microrec/internal/embedding"
+	"microrec/internal/fixedpoint"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/placement"
+	"microrec/internal/workload"
+)
+
+// Re-exported core types. The implementation lives in internal packages; the
+// aliases below are the supported public surface.
+type (
+	// Spec is a recommendation model specification.
+	Spec = model.Spec
+	// TableSpec describes one embedding table.
+	TableSpec = model.TableSpec
+	// Parameters holds materialised model parameters.
+	Parameters = model.Parameters
+	// Query is one inference's sparse input: per-table row indices.
+	Query = embedding.Query
+	// Engine is the MicroRec accelerator instance.
+	Engine = core.Engine
+	// InferResult bundles predictions with modeled hardware timing.
+	InferResult = core.InferResult
+	// TimingReport is the accelerator timing summary.
+	TimingReport = core.TimingReport
+	// AcceleratorConfig is an accelerator build description.
+	AcceleratorConfig = core.Config
+	// Resources is an FPGA resource-utilisation estimate.
+	Resources = core.Resources
+	// PlacementResult is a table-combination + bank-allocation plan.
+	PlacementResult = placement.Result
+	// CPUEngine is the real multi-goroutine CPU baseline engine.
+	CPUEngine = cpu.Engine
+	// CPUModel is the calibrated analytic model of the paper's baseline.
+	CPUModel = cpu.Model
+	// Generator produces deterministic query workloads.
+	Generator = workload.Generator
+	// MemorySystem describes a set of memory banks.
+	MemorySystem = memsim.System
+	// Format is a fixed-point number format.
+	Format = fixedpoint.Format
+	// MaterializeOpts controls parameter materialisation (seed, capacity
+	// scaling).
+	MaterializeOpts = model.MaterializeOptions
+)
+
+// Workload distributions.
+const (
+	// Uniform draws indices uniformly.
+	Uniform = workload.Uniform
+	// Zipf draws indices with a hot-head popularity skew.
+	Zipf = workload.Zipf
+)
+
+// Fixed-point precisions of the accelerator datapath.
+var (
+	// Fixed16 is the 16-bit datapath (Table 2's "FPGA fp16").
+	Fixed16 = fixedpoint.Fixed16
+	// Fixed32 is the 32-bit datapath.
+	Fixed32 = fixedpoint.Fixed32
+)
+
+// SmallProductionModel returns the paper's smaller production model
+// (47 tables, 352-dim feature, ~1.3 GB; Table 1).
+func SmallProductionModel() *Spec { return model.SmallProduction() }
+
+// LargeProductionModel returns the paper's larger production model
+// (98 tables, 876-dim feature, ~15.1 GB; Table 1).
+func LargeProductionModel() *Spec { return model.LargeProduction() }
+
+// DLRMModel returns a Facebook DLRM-RMC2-class model (§5.4.2): numTables
+// small tables, each looked up four times, with the given embedding dim.
+func DLRMModel(numTables, dim int) (*Spec, error) { return model.DLRMRMC2(numTables, dim) }
+
+// U280 returns the paper's FPGA memory system: 32 HBM pseudo-channels, 2 DDR4
+// channels and the given number of on-chip table banks.
+func U280(onChipBanks int) MemorySystem { return memsim.U280(onChipBanks) }
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Precision selects the datapath format; zero value means Fixed16.
+	Precision Format
+	// DisableCartesian turns off table merging (the paper's "HBM only"
+	// configuration).
+	DisableCartesian bool
+	// Seed drives deterministic parameter materialisation.
+	Seed int64
+	// MaxRowsPerTable caps materialised embedding rows (capacity
+	// scaling); zero means the library default.
+	MaxRowsPerTable int64
+	// UseLPTAllocator swaps the paper-faithful round-robin DRAM
+	// allocation for the cost-balancing LPT strategy.
+	UseLPTAllocator bool
+}
+
+// NewEngine materialises parameters, runs the placement search and builds a
+// MicroRec engine in one call.
+func NewEngine(spec *Spec, opts EngineOptions) (*Engine, error) {
+	params, plan, cfg, err := prepare(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(params, plan, cfg)
+}
+
+// NewEngineFromParams builds an engine from existing parameters (e.g. to
+// share materialised tables between engines of different precisions).
+func NewEngineFromParams(params *Parameters, opts EngineOptions) (*Engine, error) {
+	_, plan, cfg, err := prepareWithParams(params, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(params, plan, cfg)
+}
+
+func prepare(spec *Spec, opts EngineOptions) (*Parameters, *PlacementResult, AcceleratorConfig, error) {
+	params, err := spec.Materialize(model.MaterializeOptions{
+		Seed:            opts.Seed,
+		MaxRowsPerTable: opts.MaxRowsPerTable,
+	})
+	if err != nil {
+		return nil, nil, AcceleratorConfig{}, err
+	}
+	return prepareWithParams(params, opts)
+}
+
+func prepareWithParams(params *Parameters, opts EngineOptions) (*Parameters, *PlacementResult, AcceleratorConfig, error) {
+	prec := opts.Precision
+	if prec == (Format{}) {
+		prec = Fixed16
+	}
+	cfg := core.ConfigFor(params.Spec.Name, prec)
+	alloc := placement.RoundRobin
+	if opts.UseLPTAllocator {
+		alloc = placement.LPT
+	}
+	plan, err := placement.Plan(params.Spec, memsim.U280(cfg.OnChipBanks), placement.Options{
+		EnableCartesian: !opts.DisableCartesian,
+		Allocator:       alloc,
+	})
+	if err != nil {
+		return nil, nil, AcceleratorConfig{}, err
+	}
+	return params, plan, cfg, nil
+}
+
+// PlanModel runs only the placement search (Algorithm 1) and returns the
+// resulting plan, for inspection or custom engine assembly.
+func PlanModel(spec *Spec, sys MemorySystem, enableCartesian bool) (*PlacementResult, error) {
+	return placement.Plan(spec, sys, placement.Options{EnableCartesian: enableCartesian})
+}
+
+// NewCPUEngine materialises parameters and builds the real CPU baseline
+// engine.
+func NewCPUEngine(spec *Spec, seed, maxRows int64) (*CPUEngine, error) {
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: seed, MaxRowsPerTable: maxRows})
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewEngine(params)
+}
+
+// PaperCPUModel returns the calibrated analytic baseline for one of the
+// production models ("production-small" or "production-large").
+func PaperCPUModel(modelName string) (CPUModel, error) {
+	switch modelName {
+	case "production-small":
+		return cpu.PaperSmall(), nil
+	case "production-large":
+		return cpu.PaperLarge(), nil
+	default:
+		return CPUModel{}, fmt.Errorf("microrec: no calibrated CPU model for %q (use cpu.Calibrated)", modelName)
+	}
+}
+
+// NewGenerator builds a deterministic workload generator.
+func NewGenerator(spec *Spec, dist workload.Distribution, seed int64) (*Generator, error) {
+	return workload.NewGenerator(spec, dist, seed)
+}

@@ -1,0 +1,149 @@
+package microrec_test
+
+import (
+	"testing"
+
+	"microrec"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := gen.Batch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Infer(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != 8 {
+		t.Fatalf("predictions = %d", len(res.Predictions))
+	}
+	for _, p := range res.Predictions {
+		if p < 0 || p > 1 {
+			t.Errorf("CTR %v outside [0,1]", p)
+		}
+	}
+	if res.Timing.LatencyNS <= 0 || res.Timing.ThroughputItemsPerSec <= 0 {
+		t.Errorf("timing report degenerate: %+v", res.Timing)
+	}
+}
+
+func TestEngineOptionsPrecision(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	e16, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := microrec.NewEngine(spec, microrec.EngineOptions{
+		Seed: 1, MaxRowsPerTable: 64, Precision: microrec.Fixed32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e16.Config().Precision.Bits != 16 || e32.Config().Precision.Bits != 32 {
+		t.Error("precision option not honored")
+	}
+	// fp32 runs at a different clock per Table 6.
+	if e16.Config().ClockMHz == e32.Config().ClockMHz {
+		t.Error("fp16/fp32 clocks should differ (Table 6)")
+	}
+}
+
+func TestDisableCartesian(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	with, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := microrec.NewEngine(spec, microrec.EngineOptions{
+		Seed: 1, MaxRowsPerTable: 64, DisableCartesian: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.LookupNS() >= without.LookupNS() {
+		t.Errorf("Cartesian lookup %.0f ns >= plain %.0f ns", with.LookupNS(), without.LookupNS())
+	}
+}
+
+func TestCPUEngineAndModel(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewCPUEngine(spec, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := gen.Batch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := eng.InferBatch(qs)
+	if err != nil || len(preds) != 4 {
+		t.Fatalf("CPU batch: %v, %d preds", err, len(preds))
+	}
+	m, err := microrec.PaperCPUModel("production-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EndToEndMS(2048) <= m.EndToEndMS(1) {
+		t.Error("CPU model latency not increasing with batch")
+	}
+	if _, err := microrec.PaperCPUModel("nope"); err == nil {
+		t.Error("unknown model name: want error")
+	}
+}
+
+func TestPlanModel(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	plan, err := microrec.PlanModel(spec, microrec.U280(8), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Layout.Tables) != 42 {
+		t.Errorf("plan has %d physical tables, want 42 (Table 3)", len(plan.Layout.Tables))
+	}
+}
+
+func TestNewEngineFromParamsSharesTables(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	params, err := spec.Materialize(microrec.MaterializeOpts{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16, err := microrec.NewEngineFromParams(params, microrec.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := microrec.NewEngineFromParams(params, microrec.EngineOptions{Precision: microrec.Fixed32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gen.Next()
+	a, err := e16.ReferenceOne(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e32.ReferenceOne(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("shared-parameter engines disagree on the float reference: %v vs %v", a, b)
+	}
+}
