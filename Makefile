@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race bench ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# ci is the one-command tier-1 + race check.
+ci: build test race

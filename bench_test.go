@@ -10,7 +10,9 @@
 package microrec_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"microrec"
 	"microrec/internal/experiments"
@@ -204,4 +206,82 @@ func BenchmarkPlannerLarge(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- Serving benchmarks: batched vs per-query /predict paths ----
+
+// serveBenchSetup builds the small-model engine and a deterministic query
+// pool shared by the serving benchmarks.
+func serveBenchSetup(b *testing.B) (*microrec.Engine, []microrec.Query) {
+	b.Helper()
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]microrec.Query, 512)
+	for i := range qs {
+		qs[i] = gen.Next()
+	}
+	return eng, qs
+}
+
+// BenchmarkServeUnbatched measures the seed's per-query serving pattern —
+// one synchronous InferOne plus a single-item timing report per request, the
+// TensorFlow-Serving-style baseline the paper criticises. Reports ns/query
+// (ns/op) and queries/s.
+func BenchmarkServeUnbatched(b *testing.B) {
+	eng, qs := serveBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.InferOne(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Timing(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkServeBatched measures the micro-batching server under concurrent
+// submitters at batch 64: weight blocks stream from memory once per batch
+// instead of once per query, and the timing model runs once per batch. A
+// single worker keeps the pair an apples-to-apples batching comparison (the
+// unbatched baseline is one synchronous request stream, so extra workers
+// would conflate parallelism with batching). Reports ns/query (ns/op) and
+// queries/s.
+func BenchmarkServeBatched(b *testing.B) {
+	eng, qs := serveBenchSetup(b)
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch: 64,
+		Window:   200 * time.Microsecond,
+		Workers:  1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	b.SetParallelism(128) // concurrent submitters feeding the batcher
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := srv.Submit(ctx, qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	st := srv.Stats()
+	b.ReportMetric(st.MeanBatch, "mean-batch")
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"microrec"
 )
@@ -95,43 +98,34 @@ func TestCmdTrace(t *testing.T) {
 	}
 }
 
-func TestServeMux(t *testing.T) {
+// testMux builds the HTTP API around a small engine and a batched server.
+func testMux(t testing.TB, opts microrec.ServerOptions) (*http.ServeMux, *microrec.Engine) {
+	t.Helper()
 	spec := microrec.SmallProductionModel()
 	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newServeMux(eng)
+	srv, err := microrec.NewServer(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return newServeMux(eng, srv), eng
+}
 
-	// Health check.
+// TestServeMuxPredict covers the happy path of the batched /predict.
+func TestServeMuxPredict(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{MaxBatch: 4, Window: 200 * time.Microsecond})
+	gen, err := microrec.NewGenerator(microrec.SmallProductionModel(), microrec.Uniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(predictRequest{Indices: gen.Next()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != 200 {
-		t.Errorf("/healthz = %d", rec.Code)
-	}
-
-	// Model info.
-	rec = httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/model", nil))
-	var info modelInfoResponse
-	if err := json.NewDecoder(rec.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
-	if info.Tables != 47 || info.FeatureLen != 352 {
-		t.Errorf("/model = %+v", info)
-	}
-
-	// Prediction.
-	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q := gen.Next()
-	body, err := json.Marshal(predictRequest{Indices: q})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(string(body))))
 	if rec.Code != 200 {
 		t.Fatalf("/predict = %d: %s", rec.Code, rec.Body.String())
@@ -146,21 +140,143 @@ func TestServeMux(t *testing.T) {
 	if resp.ModeledLatencyUS <= 0 {
 		t.Errorf("modeled latency = %v", resp.ModeledLatencyUS)
 	}
+	if resp.BatchSize < 1 {
+		t.Errorf("batch size = %d", resp.BatchSize)
+	}
+}
 
-	// Error paths.
-	rec = httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/predict", nil))
-	if rec.Code != 405 {
-		t.Errorf("GET /predict = %d, want 405", rec.Code)
+// TestServeMuxErrors drives every /predict error path through the batched
+// handler.
+func TestServeMuxErrors(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{MaxBatch: 4, Window: 200 * time.Microsecond})
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"non-POST", "GET", "", http.StatusMethodNotAllowed},
+		{"malformed JSON", "POST", "{bad json", http.StatusBadRequest},
+		{"wrong table count", "POST", `{"indices":[[0]]}`, http.StatusBadRequest},
+		{"empty body", "POST", "", http.StatusBadRequest},
+		{"out-of-range index", "POST", badIndexBody(t), http.StatusBadRequest},
 	}
-	rec = httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader("{bad json")))
-	if rec.Code != 400 {
-		t.Errorf("bad json = %d, want 400", rec.Code)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest(tc.method, "/predict", strings.NewReader(tc.body)))
+			if rec.Code != tc.want {
+				t.Errorf("%s /predict (%s) = %d, want %d: %s", tc.method, tc.name, rec.Code, tc.want, rec.Body.String())
+			}
+		})
 	}
+}
+
+// badIndexBody builds a shape-correct request whose first index is out of
+// range.
+func badIndexBody(t testing.TB) string {
+	t.Helper()
+	gen, err := microrec.NewGenerator(microrec.SmallProductionModel(), microrec.Uniform, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gen.Next()
+	q[0][0] = microrec.SmallProductionModel().Tables[0].Rows + 10
+	body, err := json.Marshal(predictRequest{Indices: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestServeMuxModelShape golden-checks the /model JSON shape.
+func TestServeMuxModelShape(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{MaxBatch: 4})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/model", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/model = %d", rec.Code)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "tables", "feature_len", "precision_bits", "lookup_ns"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/model missing %q: %v", key, raw)
+		}
+	}
+	var info modelInfoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Tables != 47 || info.FeatureLen != 352 || info.Name != "production-small" {
+		t.Errorf("/model = %+v", info)
+	}
+
+	// Health check rides along.
 	rec = httptest.NewRecorder()
-	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(`{"indices":[[0]]}`)))
-	if rec.Code != 400 {
-		t.Errorf("short query = %d, want 400", rec.Code)
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("/healthz = %d", rec.Code)
+	}
+}
+
+// TestServeMuxStatsAfterBurst fires a burst of concurrent /predict requests
+// and checks /stats reports non-zero tail latency and batch occupancy.
+func TestServeMuxStatsAfterBurst(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{MaxBatch: 8, Window: 300 * time.Microsecond, Workers: 2})
+	gen, err := microrec.NewGenerator(microrec.SmallProductionModel(), microrec.Zipf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make([]string, 32)
+	for i := range bodies {
+		b, err := json.Marshal(predictRequest{Indices: gen.Next()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = string(b)
+	}
+	var wg sync.WaitGroup
+	for _, body := range bodies {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(body)))
+			if rec.Code != 200 {
+				t.Errorf("/predict = %d: %s", rec.Code, rec.Body.String())
+			}
+		}(body)
+	}
+	wg.Wait()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"max_batch", "window_us", "workers", "queries", "batches", "qps", "latency_us", "mean_batch", "batch_occupancy"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/stats missing %q: %v", key, raw)
+		}
+	}
+	var st microrec.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 32 {
+		t.Errorf("queries = %d, want 32", st.Queries)
+	}
+	if st.LatencyUS.P99 <= 0 {
+		t.Errorf("p99 latency = %v, want > 0", st.LatencyUS.P99)
+	}
+	if st.BatchOccupancy <= 0 || st.MeanBatch <= 0 {
+		t.Errorf("occupancy = %v, mean batch = %v, want > 0", st.BatchOccupancy, st.MeanBatch)
 	}
 }

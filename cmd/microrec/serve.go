@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"microrec"
@@ -20,8 +23,10 @@ type predictResponse struct {
 	CTR float64 `json:"ctr"`
 	// ModeledLatencyUS is the accelerator's modeled single-item latency.
 	ModeledLatencyUS float64 `json:"modeled_latency_us"`
-	// WallTimeUS is the actual server-side compute time.
+	// WallTimeUS is the observed submit-to-response serving latency.
 	WallTimeUS float64 `json:"wall_time_us"`
+	// BatchSize is the size of the micro-batch that served this query.
+	BatchSize int `json:"batch_size"`
 }
 
 type modelInfoResponse struct {
@@ -32,8 +37,10 @@ type modelInfoResponse struct {
 	LookupNS   int64  `json:"lookup_ns"`
 }
 
-// newServeMux builds the HTTP API around an engine (split out for tests).
-func newServeMux(eng *microrec.Engine) *http.ServeMux {
+// newServeMux builds the HTTP API around an engine and its batched server
+// (split out for tests). Requests to /predict are coalesced by srv into
+// micro-batches; /stats exposes the server's rolling serving statistics.
+func newServeMux(eng *microrec.Engine, srv *microrec.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	spec := eng.Spec()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -50,22 +57,30 @@ func newServeMux(eng *microrec.Engine) *http.ServeMux {
 		for i := range req.Indices {
 			q[i] = req.Indices[i]
 		}
-		start := time.Now()
-		ctr, err := eng.InferOne(q)
+		res, err := srv.Submit(r.Context(), q)
 		if err != nil {
-			http.Error(w, "inference: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		rep, err := eng.Timing(1)
-		if err != nil {
-			http.Error(w, "timing: "+err.Error(), http.StatusInternalServerError)
+			switch {
+			case errors.Is(err, microrec.ErrInvalidQuery):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			case errors.Is(err, microrec.ErrServerClosed):
+				http.Error(w, "server closed", http.StatusServiceUnavailable)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+			default:
+				// Validated queries only fail on engine faults.
+				http.Error(w, "inference: "+err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
 		writeJSON(w, predictResponse{
-			CTR:              float64(ctr),
-			ModeledLatencyUS: rep.LatencyNS / 1e3,
-			WallTimeUS:       float64(time.Since(start).Microseconds()),
+			CTR:              float64(res.CTR),
+			ModeledLatencyUS: res.ModeledLatencyUS,
+			WallTimeUS:       float64(res.WallTime.Microseconds()),
+			BatchSize:        res.BatchSize,
 		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Stats())
 	})
 	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, modelInfoResponse{
@@ -94,8 +109,23 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	modelName := fs.String("model", "small", "model: small or large")
 	fp32 := fs.Bool("fp32", false, "use the 32-bit datapath")
+	batch := fs.Int("batch", 64, "max micro-batch size")
+	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
+	slaBudget := fs.Duration("sla", 0, "tail-latency budget to validate the window against (0 = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The server treats zero options as "use the default", so reject
+	// explicit zeros here instead of silently remapping them.
+	if *batch < 1 {
+		return fmt.Errorf("serve: -batch must be >= 1 (got %d); use -batch 1 for per-query serving", *batch)
+	}
+	if *window <= 0 {
+		return fmt.Errorf("serve: -window must be > 0 (got %v); for per-query serving use -batch 1, which flushes on every request", *window)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("serve: -workers must be >= 1 (got %d)", *workers)
 	}
 	spec, _, err := specByName(*modelName)
 	if err != nil {
@@ -109,7 +139,26 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s (%d-bit) on %s — POST /predict, GET /model, GET /healthz",
-		spec.Name, eng.Config().Precision.Bits, *addr)
-	return http.ListenAndServe(*addr, newServeMux(eng))
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch: *batch,
+		Window:   *window,
+		Workers:  *workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *slaBudget > 0 {
+		if err := srv.ValidateSLA(*slaBudget); err != nil {
+			if maxW, werr := srv.MaxWindowUnderSLA(*slaBudget); werr == nil {
+				return fmt.Errorf("batching window violates the SLA budget (largest feasible window: %v): %w",
+					maxW.Round(time.Microsecond), err)
+			}
+			return fmt.Errorf("batching window violates the SLA budget: %w", err)
+		}
+		log.Printf("window %v validated against SLA budget %v", *window, *slaBudget)
+	}
+	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %d workers — POST /predict, GET /model, GET /stats, GET /healthz",
+		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, *workers)
+	return http.ListenAndServe(*addr, newServeMux(eng, srv))
 }

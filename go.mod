@@ -1,0 +1,3 @@
+module microrec
+
+go 1.22

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"microrec/internal/embedding"
+	"microrec/internal/fixedpoint"
+)
+
+// The batched datapath below is the CPU-side analogue of the paper's
+// throughput argument: per-query inference streams every FC weight matrix
+// from memory once per query, while a micro-batch reuses each weight block
+// across the whole batch. The kernel is a register-blocked (4 queries x 2
+// outputs), column-blocked fixed-point GEMM whose wide accumulators match
+// forward() exactly, so batched predictions are bit-identical to InferOne.
+
+// gemmColBlock is the number of output columns processed per weight pass;
+// 16 columns of int64 weights keep the working set L1-resident while every
+// query in the batch reuses it.
+const gemmColBlock = 16
+
+// BatchScratch holds the reusable buffers of the batched datapath. A scratch
+// is owned by one goroutine at a time; distinct goroutines must use distinct
+// scratches (the engine itself stays immutable and shareable).
+type BatchScratch struct {
+	feat []float32 // batch x featureLen gathered features
+	x    []int64   // batch x maxWidth quantized activations (layer input)
+	y    []int64   // batch x maxWidth wide accumulators / layer output
+}
+
+// ensure grows the scratch to hold a batch of b queries for engine e.
+func (s *BatchScratch) ensure(e *Engine, b int) {
+	if n := b * e.featureLen; cap(s.feat) < n {
+		s.feat = make([]float32, n)
+	}
+	s.feat = s.feat[:b*e.featureLen]
+	w := e.maxWidth()
+	if n := b * w; cap(s.x) < n {
+		s.x = make([]int64, n)
+		s.y = make([]int64, n)
+	}
+	s.x = s.x[:b*w]
+	s.y = s.y[:b*w]
+}
+
+// maxWidth returns the widest activation vector of the datapath (input
+// feature or any layer output).
+func (e *Engine) maxWidth() int {
+	w := e.featureLen
+	for _, d := range e.dims {
+		if d[1] > w {
+			w = d[1]
+		}
+	}
+	return w
+}
+
+// ValidateQuery checks a query's shape and index ranges against the model
+// without running inference, so servers can reject a malformed query before
+// it joins a batch.
+func (e *Engine) ValidateQuery(q embedding.Query) error {
+	if len(q) != len(e.spec.Tables) {
+		return fmt.Errorf("core: query covers %d tables, model has %d", len(q), len(e.spec.Tables))
+	}
+	for i, t := range e.spec.Tables {
+		if len(q[i]) != t.Lookups {
+			return fmt.Errorf("core: table %q expects %d lookups, query has %d", t.Name, t.Lookups, len(q[i]))
+		}
+		for _, idx := range q[i] {
+			if idx < 0 || idx >= t.Rows {
+				return fmt.Errorf("core: index %d out of range for table %q (%d rows)", idx, t.Name, t.Rows)
+			}
+		}
+	}
+	return nil
+}
+
+// InferBatch runs a batch of queries through the batched fixed-point
+// datapath, writing predictions into dst (allocated when nil) and returning
+// it. scratch may be nil (buffers are then allocated per call); passing a
+// reused scratch makes the call allocation-free in steady state. Predictions
+// are bit-identical to calling InferOne per query.
+func (e *Engine) InferBatch(queries []embedding.Query, dst []float32, scratch *BatchScratch) ([]float32, error) {
+	return e.inferBatch(queries, dst, scratch, 0)
+}
+
+// inferBatch is InferBatch with an index base for error messages, so chunked
+// callers (Infer) report the caller-visible query index.
+func (e *Engine) inferBatch(queries []embedding.Query, dst []float32, scratch *BatchScratch, indexBase int) ([]float32, error) {
+	b := len(queries)
+	if b == 0 {
+		return nil, fmt.Errorf("core: no queries")
+	}
+	if dst == nil {
+		dst = make([]float32, b)
+	} else if len(dst) != b {
+		return nil, fmt.Errorf("core: dst length %d, want %d", len(dst), b)
+	}
+	if scratch == nil {
+		scratch = &BatchScratch{}
+	}
+	scratch.ensure(e, b)
+	f := e.cfg.Precision
+
+	// Gather + quantize each query's feature row. The dense tail of every
+	// row is zeroed explicitly because the scratch is reused.
+	fl := e.featureLen
+	denseOff := fl - e.spec.DenseDim
+	for qi, q := range queries {
+		row := scratch.feat[qi*fl : (qi+1)*fl]
+		for i := denseOff; i < fl; i++ {
+			row[i] = 0
+		}
+		if _, err := e.Gather(q, row); err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", indexBase+qi, err)
+		}
+	}
+	width := e.maxWidth()
+	for qi := 0; qi < b; qi++ {
+		row := scratch.feat[qi*fl : (qi+1)*fl]
+		xrow := scratch.x[qi*width : qi*width+fl]
+		for i, v := range row {
+			xrow[i] = f.Quantize(float64(v))
+		}
+	}
+
+	x, y := scratch.x, scratch.y
+	for l, d := range e.dims {
+		in, out := d[0], d[1]
+		gemmBatch(x, y, b, in, out, width, e.qweights[l])
+		bias := e.qbiases[l]
+		last := l == len(e.dims)-1
+		for qi := 0; qi < b; qi++ {
+			yrow := y[qi*width : qi*width+out]
+			for j := range yrow {
+				yrow[j] = f.Add(f.Finish(yrow[j]), bias[j])
+			}
+			if !last {
+				fixedpoint.ReLU(yrow)
+			}
+		}
+		x, y = y, x
+	}
+	// After the swap, x holds the final layer's output (one logit per query).
+	for qi := 0; qi < b; qi++ {
+		logit := x[qi*width]
+		dst[qi] = float32(f.Dequantize(f.Sigmoid(logit)))
+	}
+	return dst, nil
+}
+
+// gemmBatch computes Y = X * W for a batch of b activation rows. X and Y are
+// flat with a fixed row stride (so the same buffers serve every layer); W is
+// in x out row-major. Accumulation is exact wide int64, identical to
+// forward()'s per-output loop. The loop nest is column-blocked so each
+// L1-resident block of W is reused by all b queries, and register-blocked
+// 4 queries x 2 outputs to amortize weight loads.
+func gemmBatch(X, Y []int64, b, in, out, stride int, W []int64) {
+	for j0 := 0; j0 < out; j0 += gemmColBlock {
+		j1 := j0 + gemmColBlock
+		if j1 > out {
+			j1 = out
+		}
+		qi := 0
+		for ; qi+4 <= b; qi += 4 {
+			x0 := X[(qi+0)*stride : (qi+0)*stride+in]
+			x1 := X[(qi+1)*stride : (qi+1)*stride+in]
+			x2 := X[(qi+2)*stride : (qi+2)*stride+in]
+			x3 := X[(qi+3)*stride : (qi+3)*stride+in]
+			y0 := Y[(qi+0)*stride : (qi+0)*stride+out]
+			y1 := Y[(qi+1)*stride : (qi+1)*stride+out]
+			y2 := Y[(qi+2)*stride : (qi+2)*stride+out]
+			y3 := Y[(qi+3)*stride : (qi+3)*stride+out]
+			j := j0
+			for ; j+2 <= j1; j += 2 {
+				var a00, a01, a10, a11, a20, a21, a30, a31 int64
+				wj := W[j:]
+				for i := 0; i < in; i++ {
+					w0 := wj[i*out]
+					w1 := wj[i*out+1]
+					v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+					a00 += v0 * w0
+					a01 += v0 * w1
+					a10 += v1 * w0
+					a11 += v1 * w1
+					a20 += v2 * w0
+					a21 += v2 * w1
+					a30 += v3 * w0
+					a31 += v3 * w1
+				}
+				y0[j], y0[j+1] = a00, a01
+				y1[j], y1[j+1] = a10, a11
+				y2[j], y2[j+1] = a20, a21
+				y3[j], y3[j+1] = a30, a31
+			}
+			for ; j < j1; j++ {
+				var a0, a1, a2, a3 int64
+				wj := W[j:]
+				for i := 0; i < in; i++ {
+					w0 := wj[i*out]
+					a0 += x0[i] * w0
+					a1 += x1[i] * w0
+					a2 += x2[i] * w0
+					a3 += x3[i] * w0
+				}
+				y0[j], y1[j], y2[j], y3[j] = a0, a1, a2, a3
+			}
+		}
+		for ; qi < b; qi++ {
+			xr := X[qi*stride : qi*stride+in]
+			yr := Y[qi*stride : qi*stride+out]
+			for j := j0; j < j1; j++ {
+				var acc int64
+				wj := W[j:]
+				for i := 0; i < in; i++ {
+					acc += xr[i] * wj[i*out]
+				}
+				yr[j] = acc
+			}
+		}
+	}
+}

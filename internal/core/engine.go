@@ -300,9 +300,10 @@ type InferResult struct {
 
 // Infer runs a batch of queries: functionally through the fixed-point
 // datapath, and through the timing model as a back-to-back item stream (the
-// accelerator has no batching, §4.1). The functional computation fans out
-// across goroutines — the engine is immutable after Build, so concurrent
-// queries are safe.
+// accelerator has no batching, §4.1). The functional computation splits the
+// batch across goroutines, each running the blocked batch kernel with its own
+// scratch — the engine is immutable after Build, so concurrent chunks are
+// safe. Predictions are bit-identical to per-query InferOne.
 func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no queries")
@@ -326,17 +327,12 @@ func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				p, err := e.InferOne(queries[i])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: query %d: %w", i, err)
-					}
-					mu.Unlock()
-					return
+			if _, err := e.inferBatch(queries[lo:hi], preds[lo:hi], nil, lo); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
-				preds[i] = p
+				mu.Unlock()
 			}
 		}(lo, hi)
 	}

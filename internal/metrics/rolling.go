@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling is a fixed-capacity, thread-safe ring of timestamped observations.
+// It backs the serving /stats endpoint: the ring keeps the most recent N
+// samples, and Snapshot summarises them (order statistics plus an arrival
+// rate over the retained span).
+type Rolling struct {
+	mu    sync.Mutex
+	vals  []float64
+	times []time.Time
+	head  int    // next write position
+	n     int    // live samples, <= len(vals)
+	total uint64 // lifetime observation count
+}
+
+// NewRolling creates a ring retaining the last `capacity` observations.
+func NewRolling(capacity int) *Rolling {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Rolling{
+		vals:  make([]float64, capacity),
+		times: make([]time.Time, capacity),
+	}
+}
+
+// Observe records one sample at the given time. Times are expected to be
+// roughly monotone (the rate estimate divides by the retained span).
+func (r *Rolling) Observe(now time.Time, v float64) {
+	r.mu.Lock()
+	r.vals[r.head] = v
+	r.times[r.head] = now
+	r.head = (r.head + 1) % len(r.vals)
+	if r.n < len(r.vals) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// RollingSnapshot is a point-in-time view of a Rolling window.
+type RollingSnapshot struct {
+	// Summary holds order statistics over the retained samples.
+	Summary Summary
+	// RatePerSec is retained-samples / retained-span — the observation
+	// rate (e.g. QPS) over the window. Zero with fewer than two samples.
+	RatePerSec float64
+	// Total is the lifetime observation count.
+	Total uint64
+}
+
+// Snapshot summarises the retained window. The rate uses the span from the
+// oldest retained sample to `now`.
+func (r *Rolling) Snapshot(now time.Time) RollingSnapshot {
+	r.mu.Lock()
+	n := r.n
+	vals := make([]float64, n)
+	var oldest time.Time
+	if n > 0 {
+		start := (r.head - n + len(r.vals)) % len(r.vals)
+		for i := 0; i < n; i++ {
+			vals[i] = r.vals[(start+i)%len(r.vals)]
+		}
+		oldest = r.times[start]
+	}
+	total := r.total
+	r.mu.Unlock()
+
+	snap := RollingSnapshot{Summary: Summarize(vals), Total: total}
+	if n >= 2 {
+		if span := now.Sub(oldest).Seconds(); span > 0 {
+			snap.RatePerSec = float64(n) / span
+		}
+	}
+	return snap
+}

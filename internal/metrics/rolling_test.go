@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRollingBasics(t *testing.T) {
+	r := NewRolling(8)
+	base := time.Unix(0, 0)
+	snap := r.Snapshot(base)
+	if snap.Summary.Count != 0 || snap.RatePerSec != 0 || snap.Total != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+	for i := 0; i < 4; i++ {
+		r.Observe(base.Add(time.Duration(i)*time.Second), float64(i+1))
+	}
+	snap = r.Snapshot(base.Add(4 * time.Second))
+	if snap.Summary.Count != 4 || snap.Summary.Min != 1 || snap.Summary.Max != 4 {
+		t.Errorf("snapshot = %+v", snap.Summary)
+	}
+	// 4 samples over a 4s span (oldest at t=0, now t=4).
+	if snap.RatePerSec != 1 {
+		t.Errorf("rate = %v, want 1", snap.RatePerSec)
+	}
+	if snap.Total != 4 {
+		t.Errorf("total = %d", snap.Total)
+	}
+}
+
+func TestRollingWraparound(t *testing.T) {
+	r := NewRolling(4)
+	base := time.Unix(100, 0)
+	for i := 0; i < 10; i++ {
+		r.Observe(base.Add(time.Duration(i)*time.Millisecond), float64(i))
+	}
+	snap := r.Snapshot(base.Add(10 * time.Millisecond))
+	// Only the last 4 samples (6..9) are retained.
+	if snap.Summary.Count != 4 || snap.Summary.Min != 6 || snap.Summary.Max != 9 {
+		t.Errorf("after wrap: %+v", snap.Summary)
+	}
+	if snap.Total != 10 {
+		t.Errorf("total = %d, want 10", snap.Total)
+	}
+	if snap.RatePerSec <= 0 {
+		t.Errorf("rate = %v", snap.RatePerSec)
+	}
+}
+
+func TestRollingZeroCapacity(t *testing.T) {
+	r := NewRolling(0) // clamped to 1
+	now := time.Unix(0, 0)
+	r.Observe(now, 7)
+	r.Observe(now, 9)
+	snap := r.Snapshot(now)
+	if snap.Summary.Count != 1 || snap.Summary.P50 != 9 {
+		t.Errorf("snapshot = %+v", snap.Summary)
+	}
+}
+
+// TestRollingConcurrent hammers one ring from many goroutines (run under
+// -race).
+func TestRollingConcurrent(t *testing.T) {
+	r := NewRolling(128)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Observe(start.Add(time.Duration(i)*time.Microsecond), float64(w*200+i))
+				if i%50 == 0 {
+					r.Snapshot(time.Now())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot(time.Now())
+	if snap.Total != 1600 {
+		t.Errorf("total = %d, want 1600", snap.Total)
+	}
+	if snap.Summary.Count != 128 {
+		t.Errorf("count = %d, want 128", snap.Summary.Count)
+	}
+}

@@ -1,0 +1,437 @@
+// Package serving implements the batched online-inference subsystem: a
+// dynamic micro-batcher that coalesces concurrent predict requests into
+// hardware-sized batches (flush on max batch size or a deadline window), a
+// pool of engine workers draining those batches through the blocked batch
+// datapath, and per-request response futures.
+//
+// This is the serving seam the paper argues for (§2.3): per-query serving —
+// one synchronous inference per HTTP request, the TensorFlow-Serving
+// baseline's pattern — leaves the engine streaming every FC weight matrix
+// once per query, while a micro-batch amortises the weight traffic across
+// all queries in flight. The window bounds the latency cost of coalescing
+// and can be validated against an SLA budget (see internal/sla).
+//
+//	requests ──► Submit ──► micro-batcher ──► worker pool ──► Engine.InferBatch
+//	   ▲                    (size/window          │
+//	   └──── response futures ◄───────────────────┘
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/metrics"
+	"microrec/internal/sla"
+)
+
+// ErrServerClosed is returned by Submit after Close.
+var ErrServerClosed = errors.New("serving: server closed")
+
+// ErrInvalidQuery wraps a query that failed shape/range validation in
+// Submit — a client fault, as opposed to an engine failure during batch
+// service (a server fault).
+var ErrInvalidQuery = errors.New("serving: invalid query")
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// MaxBatch is the flush size: a forming batch is dispatched as soon as
+	// it holds this many queries. Default 64.
+	MaxBatch int
+	// Window is the deadline flush: a forming batch is dispatched at most
+	// this long after its first query arrived, full or not. Default 200µs.
+	// (For per-query serving set MaxBatch to 1; the size flush then fires
+	// on every submit and the window never starts.)
+	Window time.Duration
+	// Workers is the number of engine workers draining batches. Default
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is the capacity of the submit queue (backpressure bound).
+	// Default 4*MaxBatch.
+	QueueDepth int
+	// StatsWindow is the number of recent queries retained for the rolling
+	// latency statistics. Default 4096.
+	StatsWindow int
+}
+
+// withDefaults returns o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.Window == 0 {
+		o.Window = 200 * time.Microsecond
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.MaxBatch
+	}
+	if o.StatsWindow == 0 {
+		o.StatsWindow = 4096
+	}
+	return o
+}
+
+// Validate checks the options after defaulting.
+func (o Options) Validate() error {
+	if o.MaxBatch < 1 {
+		return fmt.Errorf("serving: max batch %d", o.MaxBatch)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("serving: negative window %v", o.Window)
+	}
+	if o.Workers < 1 {
+		return fmt.Errorf("serving: %d workers", o.Workers)
+	}
+	if o.QueueDepth < 1 {
+		return fmt.Errorf("serving: queue depth %d", o.QueueDepth)
+	}
+	if o.StatsWindow < 1 {
+		return fmt.Errorf("serving: stats window %d", o.StatsWindow)
+	}
+	return nil
+}
+
+// Result is one query's response: the prediction plus the modeled
+// accelerator latency and the observed serving-side latency.
+type Result struct {
+	// CTR is the predicted click-through rate in [0, 1].
+	CTR float32
+	// ModeledLatencyUS is the accelerator's modeled single-item latency.
+	ModeledLatencyUS float64
+	// WallTime is the observed submit-to-response latency.
+	WallTime time.Duration
+	// BatchSize is the size of the micro-batch that served this query.
+	BatchSize int
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+type request struct {
+	q    embedding.Query
+	enq  time.Time
+	done chan outcome // buffered(1): workers never block on abandoned waiters
+}
+
+// Server coalesces concurrent Submit calls into micro-batches and serves
+// them on a pool of engine workers.
+type Server struct {
+	eng  *core.Engine
+	opts Options
+
+	mu     sync.RWMutex // guards closed vs in-flight Submits
+	closed bool
+
+	submit  chan *request
+	batches chan []*request
+	wg      sync.WaitGroup
+
+	latencyUS *metrics.Rolling // per-query wall latency, µs
+	occupancy *metrics.Rolling // dispatched batch sizes
+
+	timingMu    sync.Mutex
+	timingCache map[int]core.TimingReport
+}
+
+// New starts a server around an engine. The returned server owns background
+// goroutines; callers must Close it.
+func New(eng *core.Engine, opts Options) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("serving: nil engine")
+	}
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng:         eng,
+		opts:        opts,
+		submit:      make(chan *request, opts.QueueDepth),
+		batches:     make(chan []*request, 2*opts.Workers),
+		latencyUS:   metrics.NewRolling(opts.StatsWindow),
+		occupancy:   metrics.NewRolling(opts.StatsWindow),
+		timingCache: make(map[int]core.TimingReport),
+	}
+	s.wg.Add(1 + opts.Workers)
+	go s.batcher()
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Options returns the server's effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Submit enqueues one query and blocks until its micro-batch has been
+// served, the context is cancelled, or the server closes. Malformed queries
+// are rejected immediately without joining a batch.
+func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) {
+	if err := s.eng.ValidateQuery(q); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	req := &request{q: q, enq: time.Now(), done: make(chan outcome, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{}, ErrServerClosed
+	}
+	select {
+	case s.submit <- req:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return Result{}, ctx.Err()
+	}
+
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The query is already in a batch; the buffered done channel lets
+		// the worker complete it without us.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops accepting queries, drains every in-flight request and waits
+// for the batcher and workers to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.submit)
+	s.wg.Wait()
+	return nil
+}
+
+// drainQueued non-blockingly moves already-queued requests into pending, up
+// to MaxBatch. The bool is false once the submit channel is closed and
+// empty.
+func (s *Server) drainQueued(pending []*request) ([]*request, bool) {
+	for len(pending) < s.opts.MaxBatch {
+		select {
+		case req, ok := <-s.submit:
+			if !ok {
+				return pending, false
+			}
+			pending = append(pending, req)
+		default:
+			return pending, true
+		}
+	}
+	return pending, true
+}
+
+// batcher owns batch formation: flush on size, on window expiry, and on
+// shutdown.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	var (
+		pending []*request
+		timer   *time.Timer
+		timerC  <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(pending) > 0 {
+			s.batches <- pending
+			pending = nil
+		}
+	}
+	for {
+		select {
+		case req, ok := <-s.submit:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, req)
+			pending, ok = s.drainQueued(pending)
+			if !ok {
+				flush()
+				return
+			}
+			switch {
+			case len(pending) >= s.opts.MaxBatch:
+				flush()
+			case timerC == nil:
+				timer = time.NewTimer(s.opts.Window)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer = nil
+			timerC = nil
+			flush()
+		}
+	}
+}
+
+// worker drains batches through the engine's blocked batch datapath. Each
+// worker owns a private scratch; the engine itself is immutable and shared.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var scratch core.BatchScratch
+	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
+	preds := make([]float32, s.opts.MaxBatch)
+	for batch := range s.batches {
+		queries = queries[:0]
+		for _, r := range batch {
+			queries = append(queries, r.q)
+		}
+		_, err := s.eng.InferBatch(queries, preds[:len(batch)], &scratch)
+		var rep core.TimingReport
+		if err == nil {
+			rep, err = s.timing(len(batch))
+		}
+		// Record stats before resolving any future, so a Stats() call
+		// racing a just-returned Submit always sees the batch.
+		now := time.Now()
+		s.occupancy.Observe(now, float64(len(batch)))
+		if err == nil {
+			for _, r := range batch {
+				s.latencyUS.Observe(now, now.Sub(r.enq).Seconds()*1e6)
+			}
+		}
+		for i, r := range batch {
+			if err != nil {
+				r.done <- outcome{err: err}
+				continue
+			}
+			r.done <- outcome{res: Result{
+				CTR:              preds[i],
+				ModeledLatencyUS: rep.LatencyNS / 1e3,
+				WallTime:         now.Sub(r.enq),
+				BatchSize:        len(batch),
+			}}
+		}
+	}
+}
+
+// timing returns the modeled timing report for a batch size, cached per
+// size (the report is deterministic in the item count).
+func (s *Server) timing(items int) (core.TimingReport, error) {
+	s.timingMu.Lock()
+	defer s.timingMu.Unlock()
+	if rep, ok := s.timingCache[items]; ok {
+		return rep, nil
+	}
+	rep, err := s.eng.Timing(items)
+	if err == nil {
+		s.timingCache[items] = rep
+	}
+	return rep, err
+}
+
+// LatencySummary is the rolling latency distribution in µs.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Stats is a point-in-time view of the server's rolling serving statistics.
+type Stats struct {
+	// Configuration echo.
+	MaxBatch int     `json:"max_batch"`
+	WindowUS float64 `json:"window_us"`
+	Workers  int     `json:"workers"`
+	// Lifetime counters.
+	Queries uint64 `json:"queries"`
+	Batches uint64 `json:"batches"`
+	// Rolling-window statistics (last StatsWindow queries).
+	QPS            float64        `json:"qps"`
+	LatencyUS      LatencySummary `json:"latency_us"`
+	MeanBatch      float64        `json:"mean_batch"`
+	BatchOccupancy float64        `json:"batch_occupancy"`
+}
+
+// Stats snapshots the rolling serving statistics.
+func (s *Server) Stats() Stats {
+	now := time.Now()
+	lat := s.latencyUS.Snapshot(now)
+	occ := s.occupancy.Snapshot(now)
+	st := Stats{
+		MaxBatch: s.opts.MaxBatch,
+		WindowUS: float64(s.opts.Window) / float64(time.Microsecond),
+		Workers:  s.opts.Workers,
+		Queries:  lat.Total,
+		Batches:  occ.Total,
+		QPS:      lat.RatePerSec,
+		LatencyUS: LatencySummary{
+			Mean: lat.Summary.Mean,
+			P50:  lat.Summary.P50,
+			P95:  lat.Summary.P95,
+			P99:  lat.Summary.P99,
+			Max:  lat.Summary.Max,
+		},
+		MeanBatch: occ.Summary.Mean,
+	}
+	if st.MaxBatch > 0 {
+		st.BatchOccupancy = st.MeanBatch / float64(st.MaxBatch)
+	}
+	return st
+}
+
+// ValidateSLA checks the server's batching window against a tail-latency
+// budget for any *admitted* query, including the backlog the server itself
+// can hold: full batches in the submit queue, in the dispatch channel and in
+// service, drained by the worker pool (see sla.WorstCaseAdmittedLatencyMS).
+// The full-batch service time comes from the engine's timing model.
+func (s *Server) ValidateSLA(budget time.Duration) error {
+	rep, err := s.timing(s.opts.MaxBatch)
+	if err != nil {
+		return err
+	}
+	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
+	budgetMS := float64(budget) / float64(time.Millisecond)
+	return sla.ValidateAdmittedWindow(windowMS, rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.opts.Workers)
+}
+
+// MaxWindowUnderSLA returns the largest flush window that keeps the
+// worst-case admitted latency within the budget, or an error when no window
+// does (the backlog and batch size alone exceed the budget).
+func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) {
+	rep, err := s.timing(s.opts.MaxBatch)
+	if err != nil {
+		return 0, err
+	}
+	budgetMS := float64(budget) / float64(time.Millisecond)
+	ms, err := sla.MaxWindowUnderBudget(rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.opts.Workers)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(ms * float64(time.Millisecond)), nil
+}
+
+// backlogBatches bounds the batches ahead of a freshly admitted query: the
+// submit queue can hold ceil(QueueDepth/MaxBatch) batches, the dispatch
+// channel 2*Workers, and every worker may have one in service.
+func (s *Server) backlogBatches() int {
+	return (s.opts.QueueDepth+s.opts.MaxBatch-1)/s.opts.MaxBatch + 3*s.opts.Workers
+}

@@ -1,0 +1,313 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/placement"
+)
+
+// testEngine builds a small (capacity-scaled) production engine.
+func testEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	spec := model.SmallProduction()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SmallFP16()
+	plan, err := placement.Plan(spec, memsim.U280(cfg.OnChipBanks), placement.Options{EnableCartesian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(params, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func randomQueries(t testing.TB, spec *model.Spec, n int, seed int64) []embedding.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]embedding.Query, n)
+	for i := range qs {
+		q := make(embedding.Query, len(spec.Tables))
+		for ti, tab := range spec.Tables {
+			idxs := make([]int64, tab.Lookups)
+			for k := range idxs {
+				idxs[k] = rng.Int63n(tab.Rows)
+			}
+			q[ti] = idxs
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+func newServer(t testing.TB, eng *core.Engine, opts Options) *Server {
+	t.Helper()
+	s, err := New(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestOptionsDefaultsAndValidate(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxBatch != 64 || o.Window != 200*time.Microsecond || o.Workers < 1 || o.QueueDepth != 256 || o.StatsWindow != 4096 {
+		t.Errorf("defaults = %+v", o)
+	}
+	for _, bad := range []Options{
+		{MaxBatch: -1},
+		{Window: -time.Second},
+		{Workers: -2},
+		{QueueDepth: -1},
+		{StatsWindow: -1},
+	} {
+		if err := bad.withDefaults().Validate(); err == nil {
+			t.Errorf("options %+v: want error", bad)
+		}
+	}
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil engine: want error")
+	}
+}
+
+// TestSizeFlush fills exactly one max-size batch with an effectively
+// infinite window: only the size trigger can flush it.
+func TestSizeFlush(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: time.Hour, Workers: 1})
+	qs := randomQueries(t, eng.Spec(), 8, 1)
+	var wg sync.WaitGroup
+	results := make([]Result, len(qs))
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := srv.Submit(context.Background(), qs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		want, err := eng.InferOne(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CTR != want {
+			t.Errorf("query %d: CTR %v, want %v", i, res.CTR, want)
+		}
+		if res.BatchSize != 8 {
+			t.Errorf("query %d: batch size %d, want 8 (size flush)", i, res.BatchSize)
+		}
+		if res.ModeledLatencyUS <= 0 {
+			t.Errorf("query %d: modeled latency %v", i, res.ModeledLatencyUS)
+		}
+	}
+}
+
+// TestWindowFlush submits fewer queries than MaxBatch and relies on the
+// window deadline to dispatch the partial batch.
+func TestWindowFlush(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 64, Window: 2 * time.Millisecond, Workers: 1})
+	qs := randomQueries(t, eng.Spec(), 3, 2)
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := srv.Submit(context.Background(), qs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.BatchSize >= 64 {
+				t.Errorf("batch size %d for a 3-query burst", res.BatchSize)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Queries != 3 || st.Batches == 0 {
+		t.Errorf("stats after window flush: %+v", st)
+	}
+}
+
+// TestConcurrentSubmitters races many submitters against size and window
+// flushes and checks every result against the per-query datapath. Run under
+// -race this is the batcher's main integrity test.
+func TestConcurrentSubmitters(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 16, Window: 300 * time.Microsecond, Workers: 4})
+	const (
+		submitters = 24
+		perG       = 20
+	)
+	qs := randomQueries(t, eng.Spec(), submitters, 3)
+	want := make([]float32, submitters)
+	for i, q := range qs {
+		w, err := eng.InferOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < perG; rep++ {
+				res, err := srv.Submit(context.Background(), qs[g])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.CTR != want[g] {
+					t.Errorf("submitter %d rep %d: CTR %v, want %v", g, rep, res.CTR, want[g])
+					return
+				}
+				if res.BatchSize < 1 || res.BatchSize > 16 {
+					t.Errorf("batch size %d out of range", res.BatchSize)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Queries != submitters*perG {
+		t.Errorf("served %d queries, want %d", st.Queries, submitters*perG)
+	}
+	if st.MeanBatch <= 1 {
+		t.Errorf("mean batch %v: no coalescing happened", st.MeanBatch)
+	}
+	if st.LatencyUS.P99 <= 0 || st.QPS <= 0 || st.BatchOccupancy <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCloseDrainsInFlight races Close against a wave of submitters: every
+// Submit must either return a valid result or ErrServerClosed, and Close
+// must not strand any accepted request.
+func TestCloseDrainsInFlight(t *testing.T) {
+	eng := testEngine(t)
+	srv, err := New(eng, Options{MaxBatch: 8, Window: 200 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := randomQueries(t, eng.Spec(), 16, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok, closed := 0, 0
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				_, err := srv.Submit(context.Background(), qs[g])
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrServerClosed):
+					closed++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no request served before close")
+	}
+	if closed == 0 {
+		t.Error("no request observed the closed server")
+	}
+	// Idempotent close; submit after close fails fast.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("submit after close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestSubmitContextCancel checks both cancellation points: before enqueue
+// (queue full) and while waiting for the result.
+func TestSubmitContextCancel(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 4, Window: time.Hour, Workers: 1, QueueDepth: 4})
+	q := randomQueries(t, eng.Spec(), 1, 5)[0]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Submit(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled submit = %v", err)
+	}
+
+	// A waiter whose context expires while its batch is still forming gets
+	// the context error; the worker later resolves the future harmlessly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if _, err := srv.Submit(ctx2, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired waiter = %v", err)
+	}
+}
+
+// TestSubmitRejectsMalformed checks validation happens before batching, so
+// a bad query cannot poison its neighbours.
+func TestSubmitRejectsMalformed(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 4, Window: time.Millisecond, Workers: 1})
+	if _, err := srv.Submit(context.Background(), embedding.Query{}); err == nil {
+		t.Error("empty query: want error")
+	}
+	bad := randomQueries(t, eng.Spec(), 1, 6)[0]
+	bad[0] = []int64{eng.Spec().Tables[0].Rows + 1}
+	if _, err := srv.Submit(context.Background(), bad); err == nil {
+		t.Error("out-of-range query: want error")
+	}
+	st := srv.Stats()
+	if st.Queries != 0 {
+		t.Errorf("malformed queries reached the batcher: %+v", st)
+	}
+}
+
+// TestValidateSLA exercises the window-vs-budget check through the engine's
+// timing model.
+func TestValidateSLA(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond, Workers: 1})
+	// The modeled service time for 8 items is well under a generous budget.
+	if err := srv.ValidateSLA(100 * time.Millisecond); err != nil {
+		t.Errorf("generous budget rejected: %v", err)
+	}
+	// A sub-window budget must fail.
+	if err := srv.ValidateSLA(50 * time.Microsecond); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}

@@ -179,3 +179,85 @@ func BenchmarkSimulateQueue(b *testing.B) {
 		}
 	}
 }
+
+func TestValidateWindow(t *testing.T) {
+	// 0.2ms window + 2*1.5ms service = 3.2ms fits a 5ms budget.
+	if err := ValidateWindow(0.2, 1.5, 5); err != nil {
+		t.Errorf("fitting window rejected: %v", err)
+	}
+	// 3ms window + 2*1.5ms service = 6ms misses a 5ms budget.
+	if err := ValidateWindow(3, 1.5, 5); err == nil {
+		t.Error("oversized window accepted")
+	}
+	for _, bad := range [][3]float64{{-1, 1, 5}, {1, -1, 5}, {1, 1, 0}} {
+		if err := ValidateWindow(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ValidateWindow(%v) accepted", bad)
+		}
+	}
+}
+
+func TestWorstCaseBatchLatencyMS(t *testing.T) {
+	if got := WorstCaseBatchLatencyMS(0.2, 1.5); got != 3.2 {
+		t.Errorf("worst case = %v, want 3.2", got)
+	}
+}
+
+func TestMaxWindowUnderBudget(t *testing.T) {
+	w, err := MaxWindowUnderBudget(1.5, 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("max window = %v, want 2", w)
+	}
+	// Window w must validate, anything beyond must not.
+	if err := ValidateWindow(w, 1.5, 5); err != nil {
+		t.Errorf("max window rejected: %v", err)
+	}
+	if err := ValidateWindow(w+0.01, 1.5, 5); err == nil {
+		t.Error("beyond-max window accepted")
+	}
+	// Service alone exceeding the budget is unservable at any window.
+	if _, err := MaxWindowUnderBudget(3, 5, 1, 1); err == nil {
+		t.Error("unservable batch accepted")
+	}
+}
+
+func TestWorstCaseAdmittedLatencyMS(t *testing.T) {
+	// No backlog degenerates to window + service.
+	if got := WorstCaseAdmittedLatencyMS(0.2, 1.5, 0, 1); got != 1.7 {
+		t.Errorf("no backlog = %v, want 1.7", got)
+	}
+	// 7 queued batches on 1 worker: window + (7+1)*service.
+	if got := WorstCaseAdmittedLatencyMS(0.2, 1.5, 7, 1); got != 0.2+8*1.5 {
+		t.Errorf("7 queued / 1 worker = %v", got)
+	}
+	// 7 queued batches on 4 workers drain in ceil(7/4)=2 rounds.
+	if got := WorstCaseAdmittedLatencyMS(0.2, 1.5, 7, 4); got != 0.2+3*1.5 {
+		t.Errorf("7 queued / 4 workers = %v", got)
+	}
+	// Degenerate inputs clamp instead of exploding.
+	if got := WorstCaseAdmittedLatencyMS(0.2, 1.5, -3, 0); got != 1.7 {
+		t.Errorf("clamped = %v, want 1.7", got)
+	}
+}
+
+func TestValidateAdmittedWindow(t *testing.T) {
+	// The light-load bound fits a 5ms budget, but 7 batches of backlog on
+	// one worker must not.
+	if err := ValidateAdmittedWindow(0.2, 1.5, 5, 0, 1); err != nil {
+		t.Errorf("no backlog rejected: %v", err)
+	}
+	if err := ValidateAdmittedWindow(0.2, 1.5, 5, 7, 1); err == nil {
+		t.Error("backlogged config accepted")
+	}
+	// More workers drain the same backlog inside the budget.
+	if err := ValidateAdmittedWindow(0.2, 1.5, 13, 7, 8); err != nil {
+		t.Errorf("parallel drain rejected: %v", err)
+	}
+	for _, bad := range [][3]float64{{-1, 1, 5}, {1, -1, 5}, {1, 1, 0}} {
+		if err := ValidateAdmittedWindow(bad[0], bad[1], bad[2], 1, 1); err == nil {
+			t.Errorf("ValidateAdmittedWindow(%v) accepted", bad)
+		}
+	}
+}

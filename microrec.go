@@ -10,9 +10,12 @@
 //   - the placement planner (Algorithm 1: Cartesian-product table
 //     combination plus hybrid-memory allocation),
 //   - the MicroRec engine: functional fixed-point CTR inference with a
-//     calibrated cycle-level timing model of the Alveo U280 design, and
+//     calibrated cycle-level timing model of the Alveo U280 design,
 //   - a real multi-core CPU baseline engine plus the calibrated analytic
-//     model of the paper's TensorFlow-Serving testbed.
+//     model of the paper's TensorFlow-Serving testbed, and
+//   - the batched serving subsystem: a dynamic micro-batcher that
+//     coalesces concurrent predict requests into hardware-sized batches
+//     served by an engine worker pool (NewServer).
 //
 // Quick start:
 //
@@ -38,6 +41,7 @@ import (
 	"microrec/internal/memsim"
 	"microrec/internal/model"
 	"microrec/internal/placement"
+	"microrec/internal/serving"
 	"microrec/internal/workload"
 )
 
@@ -77,7 +81,29 @@ type (
 	// MaterializeOpts controls parameter materialisation (seed, capacity
 	// scaling).
 	MaterializeOpts = model.MaterializeOptions
+	// BatchScratch holds the reusable buffers of the batched datapath
+	// (one per goroutine).
+	BatchScratch = core.BatchScratch
+	// Server is the batched serving subsystem: a dynamic micro-batcher
+	// plus an engine worker pool behind response futures.
+	Server = serving.Server
+	// ServerOptions configures NewServer (batch size, flush window,
+	// worker count).
+	ServerOptions = serving.Options
+	// ServeResult is one served query's prediction plus modeled-vs-wall
+	// latency.
+	ServeResult = serving.Result
+	// ServerStats is a rolling snapshot of serving statistics (latency
+	// percentiles, QPS, batch occupancy).
+	ServerStats = serving.Stats
 )
+
+// ErrServerClosed is returned by Server.Submit after Server.Close.
+var ErrServerClosed = serving.ErrServerClosed
+
+// ErrInvalidQuery wraps queries rejected by Server.Submit's validation (a
+// client fault, as opposed to an engine failure during batch service).
+var ErrInvalidQuery = serving.ErrInvalidQuery
 
 // Workload distributions.
 const (
@@ -206,6 +232,14 @@ func PaperCPUModel(modelName string) (CPUModel, error) {
 	default:
 		return CPUModel{}, fmt.Errorf("microrec: no calibrated CPU model for %q (use cpu.Calibrated)", modelName)
 	}
+}
+
+// NewServer starts the batched serving subsystem around an engine: Submit
+// coalesces concurrent queries into micro-batches (flush on batch size or
+// deadline window) served by a pool of engine workers. The returned server
+// owns background goroutines; callers must Close it.
+func NewServer(eng *Engine, opts ServerOptions) (*Server, error) {
+	return serving.New(eng, opts)
 }
 
 // NewGenerator builds a deterministic workload generator.

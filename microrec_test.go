@@ -1,7 +1,10 @@
 package microrec_test
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"microrec"
 )
@@ -145,5 +148,72 @@ func TestNewEngineFromParamsSharesTables(t *testing.T) {
 	}
 	if a != b {
 		t.Errorf("shared-parameter engines disagree on the float reference: %v vs %v", a, b)
+	}
+}
+
+// TestServerPublicSurface drives the batched serving subsystem through the
+// public API: concurrent Submits coalesce into micro-batches whose
+// predictions match the engine exactly, stats populate, and Close drains.
+func TestServerPublicSurface(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch: 8,
+		Window:   300 * time.Microsecond,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	queries := make([]microrec.Query, n)
+	for i := range queries {
+		queries[i] = gen.Next()
+	}
+	var wg sync.WaitGroup
+	results := make([]microrec.ServeResult, n)
+	errs := make([]error, n)
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = srv.Submit(context.Background(), queries[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, err := eng.InferOne(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].CTR != want {
+			t.Errorf("query %d: served CTR %v, engine %v", i, results[i].CTR, want)
+		}
+		if results[i].BatchSize < 1 || results[i].BatchSize > 8 {
+			t.Errorf("query %d: batch size %d", i, results[i].BatchSize)
+		}
+	}
+	st := srv.Stats()
+	if st.Queries != n || st.LatencyUS.P99 <= 0 || st.BatchOccupancy <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := srv.ValidateSLA(time.Second); err != nil {
+		t.Errorf("ValidateSLA: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), queries[0]); err != microrec.ErrServerClosed {
+		t.Errorf("submit after close = %v, want ErrServerClosed", err)
 	}
 }
