@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench ci
+.PHONY: build test race bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,5 +14,10 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# bench-smoke runs the datapath/serving benchmarks once each — a fast check
+# that the hot paths still execute, used by CI.
+bench-smoke:
+	$(GO) test -run xxx -bench 'Gather|Serve|EngineInferOne' -benchtime 1x -benchmem .
+
 # ci is the one-command tier-1 + race check.
-ci: build test race
+ci: build test race bench-smoke

@@ -208,6 +208,45 @@ func BenchmarkPlannerLarge(b *testing.B) {
 	}
 }
 
+// ---- Gather benchmarks: per-query scalar vs batched channel-sharded ----
+
+// BenchmarkGatherOne measures the per-query float gather (one query's
+// physical-table walk into the concatenated feature vector).
+func BenchmarkGatherOne(b *testing.B) {
+	eng, qs := serveBenchSetup(b)
+	dst := make([]float32, eng.Spec().FeatureLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Gather(qs[i%len(qs)], dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatherBatch measures the batched gather datapath at batch 64:
+// table-major over the whole batch, sharded by the placement plan's channel
+// groups, quantizing directly into the fixed-point feature plane. One op is
+// a 64-query batch; the gather loop itself is allocation-free (the handful
+// of reported allocations are the per-batch shard goroutines, <0.2/query).
+func BenchmarkGatherBatch(b *testing.B) {
+	eng, qs := serveBenchSetup(b)
+	batch := qs[:64]
+	var scratch microrec.BatchScratch
+	if _, _, err := eng.GatherBatch(batch, &scratch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.GatherBatch(batch, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(64*b.N), "ns/query")
+}
+
 // ---- Serving benchmarks: batched vs per-query /predict paths ----
 
 // serveBenchSetup builds the small-model engine and a deterministic query

@@ -280,3 +280,68 @@ func TestServeMuxStatsAfterBurst(t *testing.T) {
 		t.Errorf("occupancy = %v, mean batch = %v, want > 0", st.BatchOccupancy, st.MeanBatch)
 	}
 }
+
+// TestServeMuxStatsHotCache enables the live hot-row cache (the -hotcache
+// flag's engine option) and checks /stats surfaces its hit rate and
+// effective lookup latency.
+func TestServeMuxStatsHotCache(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64, HotCacheBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{MaxBatch: 8, Window: 200 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mux := newServeMux(eng, srv)
+
+	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(predictRequest{Indices: gen.Next()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeat one query so the cache warms deterministically.
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(string(body))))
+		if rec.Code != 200 {
+			t.Fatalf("/predict = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var st microrec.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.HotCache == nil {
+		t.Fatalf("/stats missing hotcache section: %s", rec.Body.String())
+	}
+	if st.HotCache.Hits == 0 {
+		t.Error("repeated query produced no cache hits")
+	}
+	if st.HotCache.HitRate <= 0 || st.HotCache.HitRate > 1 {
+		t.Errorf("hit rate %v out of (0, 1]", st.HotCache.HitRate)
+	}
+	if st.HotCache.EffectiveLookupNS >= st.HotCache.ColdLookupNS {
+		t.Errorf("warm cache: effective lookup %v should beat cold %v",
+			st.HotCache.EffectiveLookupNS, st.HotCache.ColdLookupNS)
+	}
+}
+
+// TestServeFlagValidationHotCache checks cmdServe rejects a negative cache
+// capacity.
+func TestServeFlagValidationHotCache(t *testing.T) {
+	if err := run([]string{"serve", "-hotcache", "-1"}); err == nil {
+		t.Error("negative -hotcache: want error")
+	}
+}

@@ -113,6 +113,7 @@ func cmdServe(args []string) error {
 	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
 	slaBudget := fs.Duration("sla", 0, "tail-latency budget to validate the window against (0 = skip)")
+	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off); hit rate and effective lookup latency appear in /stats")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,11 +128,14 @@ func cmdServe(args []string) error {
 	if *workers < 1 {
 		return fmt.Errorf("serve: -workers must be >= 1 (got %d)", *workers)
 	}
+	if *hotCache < 0 {
+		return fmt.Errorf("serve: -hotcache must be >= 0 bytes (got %d)", *hotCache)
+	}
 	spec, _, err := specByName(*modelName)
 	if err != nil {
 		return err
 	}
-	opts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096}
+	opts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096, HotCacheBytes: *hotCache}
 	if *fp32 {
 		opts.Precision = microrec.Fixed32
 	}
@@ -156,9 +160,18 @@ func cmdServe(args []string) error {
 			}
 			return fmt.Errorf("batching window violates the SLA budget: %w", err)
 		}
-		log.Printf("window %v validated against SLA budget %v", *window, *slaBudget)
+		if worst, expected, err := srv.AdmittedLatencyBounds(); err == nil {
+			log.Printf("window %v validated against SLA budget %v (worst-case admitted %v cache-cold, expected %v)",
+				*window, *slaBudget, worst.Round(time.Microsecond), expected.Round(time.Microsecond))
+		} else {
+			log.Printf("window %v validated against SLA budget %v", *window, *slaBudget)
+		}
 	}
-	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %d workers — POST /predict, GET /model, GET /stats, GET /healthz",
-		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, *workers)
+	cacheNote := ""
+	if *hotCache > 0 {
+		cacheNote = fmt.Sprintf(", hot-row cache %d B", *hotCache)
+	}
+	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %d workers%s — POST /predict, GET /model, GET /stats, GET /healthz",
+		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, *workers, cacheNote)
 	return http.ListenAndServe(*addr, newServeMux(eng, srv))
 }

@@ -10,54 +10,41 @@ import (
 // The batched datapath below is the CPU-side analogue of the paper's
 // throughput argument: per-query inference streams every FC weight matrix
 // from memory once per query, while a micro-batch reuses each weight block
-// across the whole batch. The kernel is a register-blocked (4 queries x 2
-// outputs), column-blocked fixed-point GEMM whose wide accumulators match
-// forward() exactly, so batched predictions are bit-identical to InferOne.
+// across the whole batch. Features arrive already quantized from GatherBatch
+// (gather.go); the kernel is a register-blocked (4 queries x 2 outputs),
+// column-blocked fixed-point GEMM over the transposed (out x in) weight
+// layout, so every weight access is sequential and each L2-resident block is
+// reused by the whole batch. The wide accumulators match the per-query GEMV
+// exactly, so batched predictions are bit-identical to InferOne.
 
 // gemmColBlock is the number of output columns processed per weight pass;
-// 16 columns of int64 weights keep the working set L1-resident while every
-// query in the batch reuses it.
+// a block of 16 contiguous transposed weight rows stays cache-resident while
+// every query in the batch reuses it.
 const gemmColBlock = 16
 
 // BatchScratch holds the reusable buffers of the batched datapath. A scratch
 // is owned by one goroutine at a time; distinct goroutines must use distinct
 // scratches (the engine itself stays immutable and shareable).
 type BatchScratch struct {
-	feat []float32 // batch x featureLen gathered features
-	x    []int64   // batch x maxWidth quantized activations (layer input)
-	y    []int64   // batch x maxWidth wide accumulators / layer output
+	x []int64 // batch x width quantized activations (gathered features / layer input)
+	y []int64 // batch x width wide accumulators / layer output
 }
 
 // ensure grows the scratch to hold a batch of b queries for engine e.
 func (s *BatchScratch) ensure(e *Engine, b int) {
-	if n := b * e.featureLen; cap(s.feat) < n {
-		s.feat = make([]float32, n)
-	}
-	s.feat = s.feat[:b*e.featureLen]
-	w := e.maxWidth()
-	if n := b * w; cap(s.x) < n {
+	n := b * e.width
+	if cap(s.x) < n {
 		s.x = make([]int64, n)
 		s.y = make([]int64, n)
 	}
-	s.x = s.x[:b*w]
-	s.y = s.y[:b*w]
-}
-
-// maxWidth returns the widest activation vector of the datapath (input
-// feature or any layer output).
-func (e *Engine) maxWidth() int {
-	w := e.featureLen
-	for _, d := range e.dims {
-		if d[1] > w {
-			w = d[1]
-		}
-	}
-	return w
+	s.x = s.x[:n]
+	s.y = s.y[:n]
 }
 
 // ValidateQuery checks a query's shape and index ranges against the model
-// without running inference, so servers can reject a malformed query before
-// it joins a batch.
+// without running inference, so servers can reject a malformed query at
+// admission. The validated hot paths (InferBatchValidated, the gather loop)
+// rely on this having been called exactly once per query.
 func (e *Engine) ValidateQuery(q embedding.Query) error {
 	if len(q) != len(e.spec.Tables) {
 		return fmt.Errorf("core: query covers %d tables, model has %d", len(q), len(e.spec.Tables))
@@ -75,22 +62,48 @@ func (e *Engine) ValidateQuery(q embedding.Query) error {
 	return nil
 }
 
+// validateBatch runs ValidateQuery over a batch, naming the failing query
+// with indexBase added (so chunked callers report caller-visible indices).
+func (e *Engine) validateBatch(queries []embedding.Query, indexBase int) error {
+	for i, q := range queries {
+		if err := e.ValidateQuery(q); err != nil {
+			return fmt.Errorf("core: query %d: %w", indexBase+i, err)
+		}
+	}
+	return nil
+}
+
 // InferBatch runs a batch of queries through the batched fixed-point
 // datapath, writing predictions into dst (allocated when nil) and returning
 // it. scratch may be nil (buffers are then allocated per call); passing a
 // reused scratch makes the call allocation-free in steady state. Predictions
 // are bit-identical to calling InferOne per query.
 func (e *Engine) InferBatch(queries []embedding.Query, dst []float32, scratch *BatchScratch) ([]float32, error) {
-	return e.inferBatch(queries, dst, scratch, 0)
-}
-
-// inferBatch is InferBatch with an index base for error messages, so chunked
-// callers (Infer) report the caller-visible query index.
-func (e *Engine) inferBatch(queries []embedding.Query, dst []float32, scratch *BatchScratch, indexBase int) ([]float32, error) {
-	b := len(queries)
-	if b == 0 {
+	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no queries")
 	}
+	if err := e.validateBatch(queries, 0); err != nil {
+		return nil, err
+	}
+	return e.inferBatchValidated(queries, dst, scratch)
+}
+
+// InferBatchValidated is InferBatch minus the per-query validation pass, for
+// callers that already validated every query at admission (ValidateQuery) —
+// the serving path validates in Submit, so its batches skip the second pass.
+// Passing an unvalidated query is a contract violation: out-of-range indices
+// panic rather than returning an error.
+func (e *Engine) InferBatchValidated(queries []embedding.Query, dst []float32, scratch *BatchScratch) ([]float32, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: no queries")
+	}
+	return e.inferBatchValidated(queries, dst, scratch)
+}
+
+// inferBatchValidated is the validated hot path: batched gather straight into
+// the fixed-point plane, then the blocked GEMM tower.
+func (e *Engine) inferBatchValidated(queries []embedding.Query, dst []float32, scratch *BatchScratch) ([]float32, error) {
+	b := len(queries)
 	if dst == nil {
 		dst = make([]float32, b)
 	} else if len(dst) != b {
@@ -102,32 +115,16 @@ func (e *Engine) inferBatch(queries []embedding.Query, dst []float32, scratch *B
 	scratch.ensure(e, b)
 	f := e.cfg.Precision
 
-	// Gather + quantize each query's feature row. The dense tail of every
-	// row is zeroed explicitly because the scratch is reused.
-	fl := e.featureLen
-	denseOff := fl - e.spec.DenseDim
-	for qi, q := range queries {
-		row := scratch.feat[qi*fl : (qi+1)*fl]
-		for i := denseOff; i < fl; i++ {
-			row[i] = 0
-		}
-		if _, err := e.Gather(q, row); err != nil {
-			return nil, fmt.Errorf("core: query %d: %w", indexBase+qi, err)
-		}
-	}
-	width := e.maxWidth()
-	for qi := 0; qi < b; qi++ {
-		row := scratch.feat[qi*fl : (qi+1)*fl]
-		xrow := scratch.x[qi*width : qi*width+fl]
-		for i, v := range row {
-			xrow[i] = f.Quantize(float64(v))
-		}
-	}
+	// Stage 1: batched table-major gather, quantizing each embedding vector
+	// directly into scratch.x's feature rows (no intermediate float plane).
+	e.gatherBatchValidated(queries, scratch)
 
+	// Stage 2: the FC tower as blocked GEMMs, ping-ponging x and y.
+	width := e.width
 	x, y := scratch.x, scratch.y
 	for l, d := range e.dims {
 		in, out := d[0], d[1]
-		gemmBatch(x, y, b, in, out, width, e.qweights[l])
+		gemmBatch(x, y, b, in, out, width, e.qweightsT[l])
 		bias := e.qbiases[l]
 		last := l == len(e.dims)-1
 		for qi := 0; qi < b; qi++ {
@@ -150,12 +147,14 @@ func (e *Engine) inferBatch(queries []embedding.Query, dst []float32, scratch *B
 }
 
 // gemmBatch computes Y = X * W for a batch of b activation rows. X and Y are
-// flat with a fixed row stride (so the same buffers serve every layer); W is
-// in x out row-major. Accumulation is exact wide int64, identical to
-// forward()'s per-output loop. The loop nest is column-blocked so each
-// L1-resident block of W is reused by all b queries, and register-blocked
-// 4 queries x 2 outputs to amortize weight loads.
-func gemmBatch(X, Y []int64, b, in, out, stride int, W []int64) {
+// flat with a fixed row stride (so the same buffers serve every layer); WT is
+// the transposed weight matrix, out x in row-major, so output j's weights are
+// the contiguous row WT[j*in : (j+1)*in] and every access below is
+// sequential. Accumulation is exact wide int64 in ascending-i order,
+// identical to the per-query GEMV. The loop nest is column-blocked so each
+// cache-resident group of weight rows is reused by all b queries, and
+// register-blocked 4 queries x 2 outputs to amortize weight loads.
+func gemmBatch(X, Y []int64, b, in, out, stride int, WT []int64) {
 	for j0 := 0; j0 < out; j0 += gemmColBlock {
 		j1 := j0 + gemmColBlock
 		if j1 > out {
@@ -174,19 +173,20 @@ func gemmBatch(X, Y []int64, b, in, out, stride int, W []int64) {
 			j := j0
 			for ; j+2 <= j1; j += 2 {
 				var a00, a01, a10, a11, a20, a21, a30, a31 int64
-				wj := W[j:]
+				w0 := WT[j*in : j*in+in]
+				w1 := WT[(j+1)*in : (j+1)*in+in]
 				for i := 0; i < in; i++ {
-					w0 := wj[i*out]
-					w1 := wj[i*out+1]
+					wa := w0[i]
+					wb := w1[i]
 					v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
-					a00 += v0 * w0
-					a01 += v0 * w1
-					a10 += v1 * w0
-					a11 += v1 * w1
-					a20 += v2 * w0
-					a21 += v2 * w1
-					a30 += v3 * w0
-					a31 += v3 * w1
+					a00 += v0 * wa
+					a01 += v0 * wb
+					a10 += v1 * wa
+					a11 += v1 * wb
+					a20 += v2 * wa
+					a21 += v2 * wb
+					a30 += v3 * wa
+					a31 += v3 * wb
 				}
 				y0[j], y0[j+1] = a00, a01
 				y1[j], y1[j+1] = a10, a11
@@ -195,13 +195,13 @@ func gemmBatch(X, Y []int64, b, in, out, stride int, W []int64) {
 			}
 			for ; j < j1; j++ {
 				var a0, a1, a2, a3 int64
-				wj := W[j:]
+				w0 := WT[j*in : j*in+in]
 				for i := 0; i < in; i++ {
-					w0 := wj[i*out]
-					a0 += x0[i] * w0
-					a1 += x1[i] * w0
-					a2 += x2[i] * w0
-					a3 += x3[i] * w0
+					wa := w0[i]
+					a0 += x0[i] * wa
+					a1 += x1[i] * wa
+					a2 += x2[i] * wa
+					a3 += x3[i] * wa
 				}
 				y0[j], y1[j], y2[j], y3[j] = a0, a1, a2, a3
 			}
@@ -211,9 +211,9 @@ func gemmBatch(X, Y []int64, b, in, out, stride int, W []int64) {
 			yr := Y[qi*stride : qi*stride+out]
 			for j := j0; j < j1; j++ {
 				var acc int64
-				wj := W[j:]
+				w0 := WT[j*in : j*in+in]
 				for i := 0; i < in; i++ {
-					acc += xr[i] * wj[i*out]
+					acc += xr[i] * w0[i]
 				}
 				yr[j] = acc
 			}

@@ -44,6 +44,13 @@ type Config struct {
 	// stage. Zero reproduces the paper's prototype, which caches input
 	// features on the FPGA (footnote 2).
 	HostStreamGBps float64
+	// HotCacheBytes, when positive, attaches a live hot-row cache of the
+	// given byte capacity in front of the modeled DRAM lookup path (the
+	// memory-side caching the paper positions as complementary work, §6).
+	// The cache is functionally transparent — it never changes
+	// predictions — but its observed hit rate scales the modeled
+	// embedding-lookup latency (Engine.EffectiveLookupNS).
+	HotCacheBytes int64
 }
 
 // Validate checks the configuration.
@@ -79,6 +86,9 @@ func (c Config) Validate() error {
 	}
 	if c.HostStreamGBps < 0 {
 		return fmt.Errorf("core: negative host-stream bandwidth")
+	}
+	if c.HotCacheBytes < 0 {
+		return fmt.Errorf("core: negative hot-cache capacity")
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 
 	"microrec/internal/cartesian"
 	"microrec/internal/embedding"
-	"microrec/internal/fixedpoint"
+	"microrec/internal/hotcache"
 	"microrec/internal/model"
 	"microrec/internal/pipesim"
 	"microrec/internal/placement"
@@ -30,19 +30,41 @@ type Engine struct {
 	// the concatenated feature vector (spec order, lookup-minor).
 	featureOffset []int
 	featureLen    int
+	// width is the widest activation plane of the datapath (feature length
+	// or any layer output), the row stride of every batch buffer.
+	width int
 
-	// Quantized FC tower: weights held column-major per layer for the
-	// GEMV; raw values in the engine's fixed-point format.
-	qweights [][]int64 // layer -> in*out raw values, row-major (in x out)
-	qbiases  [][]int64
-	dims     [][2]int
+	// Quantized FC tower, held transposed (out x in row-major, i.e. one
+	// contiguous weight row per output) so both the per-query GEMV and the
+	// blocked batch GEMM stream weights sequentially; raw values in the
+	// engine's fixed-point format.
+	qweightsT [][]int64
+	qbiases   [][]int64
+	dims      [][2]int
 
 	// products holds the physically materialised Cartesian tables, one
 	// per physical table (nil for single tables and for products too
 	// large to materialise, which fall back to virtual per-source reads).
 	products []*cartesian.Materialized
 
-	pipelineNS float64 // cached lookup latency from the plan
+	// gplan is the compiled batched-gather schedule (see gather.go).
+	gplan gatherPlan
+	// cache is the optional live hot-row cache (Config.HotCacheBytes).
+	cache *hotcache.Live
+
+	// onePool recycles the batch-of-one scratch InferOne runs on, keeping
+	// the single-query path allocation-free in steady state. The engine
+	// is otherwise immutable after Build.
+	onePool sync.Pool
+
+	pipelineNS float64 // cached cold-cache lookup latency from the plan
+}
+
+// oneScratch is the pooled state of one InferOne call.
+type oneScratch struct {
+	s   BatchScratch
+	qs  [1]embedding.Query
+	out [1]float32
 }
 
 // Build assembles an engine from materialised parameters, a placement plan
@@ -75,6 +97,7 @@ func Build(params *model.Parameters, plan *placement.Result, cfg Config) (*Engin
 		dims:       spec.LayerDims(),
 		pipelineNS: plan.Report.LatencyNS,
 	}
+	e.onePool.New = func() interface{} { return new(oneScratch) }
 	e.featureOffset = make([]int, len(spec.Tables))
 	off := 0
 	for i, t := range spec.Tables {
@@ -85,13 +108,27 @@ func Build(params *model.Parameters, plan *placement.Result, cfg Config) (*Engin
 	if got := spec.FeatureLen(); e.featureLen != got {
 		return nil, fmt.Errorf("core: feature length mismatch %d vs %d", e.featureLen, got)
 	}
+	e.width = e.featureLen
+	for _, d := range e.dims {
+		if d[1] > e.width {
+			e.width = d[1]
+		}
+	}
 	f := cfg.Precision
 	for l, w := range params.Weights {
-		raw := make([]int64, len(w.Data))
-		for i, v := range w.Data {
-			raw[i] = f.Quantize(float64(v))
+		in, out := e.dims[l][0], e.dims[l][1]
+		if len(w.Data) != in*out {
+			return nil, fmt.Errorf("core: layer %d weights have %d values, want %d", l, len(w.Data), in*out)
 		}
-		e.qweights = append(e.qweights, raw)
+		// Transpose while quantizing: source is in x out row-major, the
+		// engine stores out x in so output j's weights are contiguous.
+		raw := make([]int64, len(w.Data))
+		for i := 0; i < in; i++ {
+			for j := 0; j < out; j++ {
+				raw[j*in+i] = f.Quantize(float64(w.Data[i*out+j]))
+			}
+		}
+		e.qweightsT = append(e.qweightsT, raw)
 		braw := make([]int64, len(params.Biases[l]))
 		for i, v := range params.Biases[l] {
 			braw[i] = f.Quantize(float64(v))
@@ -120,6 +157,16 @@ func Build(params *model.Parameters, plan *placement.Result, cfg Config) (*Engin
 		}
 		e.products[pi] = m
 	}
+	if cfg.HotCacheBytes > 0 {
+		live, err := hotcache.NewLive(cfg.HotCacheBytes, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.cache = live
+	}
+	if e.gplan, err = e.compileGatherPlan(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -144,126 +191,79 @@ func (e *Engine) Plan() *placement.Result { return e.plan }
 // Config returns the engine's build configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// LookupNS returns the modeled per-inference embedding-lookup latency.
+// LookupNS returns the modeled per-inference embedding-lookup latency with a
+// cold (or absent) hot-row cache — the conservative figure SLA admission
+// uses. See EffectiveLookupNS for the live-cache-adjusted value.
 func (e *Engine) LookupNS() float64 { return e.pipelineNS }
 
 // Gather resolves one query into the concatenated float feature vector,
-// walking the *physical* layout: one access per physical table retrieves the
-// vectors of all its merged sources (the Cartesian-product payoff), which are
-// then scattered to their spec-order feature positions.
+// walking the compiled gather plan over the *physical* layout: one access per
+// physical table retrieves the vectors of all its merged sources (the
+// Cartesian-product payoff), which are then scattered to their spec-order
+// feature positions. It is the float reference of the quantized GatherBatch
+// path and performs no hot-cache accounting.
 func (e *Engine) Gather(q embedding.Query, dst []float32) ([]float32, error) {
-	if len(q) != len(e.spec.Tables) {
-		return nil, fmt.Errorf("core: query covers %d tables, model has %d", len(q), len(e.spec.Tables))
+	if err := e.ValidateQuery(q); err != nil {
+		return nil, err
 	}
 	if dst == nil {
 		dst = make([]float32, e.featureLen)
 	} else if len(dst) != e.featureLen {
 		return nil, fmt.Errorf("core: dst length %d, want %d", len(dst), e.featureLen)
 	}
-	for pi, pt := range e.plan.Layout.Tables {
-		// One physical access serves lookup round r of every source.
-		lookups := pt.Lookups()
-		for r := 0; r < lookups; r++ {
-			if m := e.products[pi]; m != nil {
-				// The merged table is physically materialised: one read
-				// returns every source's vector, which is then scattered
-				// to its spec-order feature position (Figure 5).
-				if err := e.gatherMaterialized(m, pt, q, r, dst); err != nil {
-					return nil, err
+	for ti := range e.gplan.tables {
+		gt := &e.gplan.tables[ti]
+		if gt.mat != nil {
+			dim := gt.dim
+			for r := 0; r < gt.lookups; r++ {
+				var row int64
+				for si := range gt.srcs {
+					src := &gt.srcs[si]
+					row += (q[src.srcID][r] % src.actualRows) * src.stride
 				}
-				continue
+				payload := gt.mat[row*dim : row*dim+dim]
+				seg := 0
+				for si := range gt.srcs {
+					src := &gt.srcs[si]
+					off := src.featOff + r*src.dim
+					copy(dst[off:off+src.dim], payload[seg:seg+src.dim])
+					seg += src.dim
+				}
 			}
-			for _, src := range pt.Sources {
-				idxs := q[src.ID]
-				if len(idxs) != src.Lookups {
-					return nil, fmt.Errorf("core: table %q expects %d lookups, query has %d",
-						src.Name, src.Lookups, len(idxs))
-				}
-				tab, err := e.store.Table(src.ID)
-				if err != nil {
-					return nil, err
-				}
-				v, err := tab.Lookup(idxs[r])
-				if err != nil {
-					return nil, err
-				}
-				off := e.featureOffset[src.ID] + r*src.Dim
-				copy(dst[off:off+src.Dim], v)
+			continue
+		}
+		for si := range gt.srcs {
+			src := &gt.srcs[si]
+			d64 := int64(src.dim)
+			for r := 0; r < src.lookups; r++ {
+				mrow := q[src.srcID][r] % src.actualRows
+				off := src.featOff + r*src.dim
+				copy(dst[off:off+src.dim], src.data[mrow*d64:mrow*d64+d64])
 			}
 		}
 	}
 	return dst, nil
 }
 
-// gatherMaterialized serves lookup round r of a merged table with a single
-// read of the materialised product, scattering the concatenated payload.
-func (e *Engine) gatherMaterialized(m *cartesian.Materialized, pt cartesian.PhysicalTable, q embedding.Query, r int, dst []float32) error {
-	scaled := make([]int64, len(pt.Sources))
-	for i, src := range pt.Sources {
-		idxs := q[src.ID]
-		if len(idxs) != src.Lookups {
-			return fmt.Errorf("core: table %q expects %d lookups, query has %d",
-				src.Name, src.Lookups, len(idxs))
-		}
-		idx := idxs[r]
-		if idx < 0 || idx >= src.Rows {
-			return fmt.Errorf("core: index %d out of range for table %q (%d rows)", idx, src.Name, src.Rows)
-		}
-		// Map the logical index onto the capacity-scaled storage the
-		// product was materialised from.
-		scaled[i] = idx % e.params.ActualRows[src.ID]
-	}
-	payload, err := m.Lookup(scaled)
-	if err != nil {
-		return err
-	}
-	seg := 0
-	for _, src := range pt.Sources {
-		off := e.featureOffset[src.ID] + r*src.Dim
-		copy(dst[off:off+src.Dim], payload[seg:seg+src.Dim])
-		seg += src.Dim
-	}
-	return nil
-}
-
 // InferOne runs one query through the fixed-point datapath and returns the
-// predicted CTR in [0, 1].
+// predicted CTR in [0, 1]. It shares the batched gather + GEMM datapath as a
+// batch of one (bit-identical by construction) on a pooled scratch, so the
+// single-query path is allocation-free in steady state and feeds the live
+// hot-row cache like any other traffic.
 func (e *Engine) InferOne(q embedding.Query) (float32, error) {
-	feat, err := e.Gather(q, nil)
+	if err := e.ValidateQuery(q); err != nil {
+		return 0, err
+	}
+	os := e.onePool.Get().(*oneScratch)
+	os.qs[0] = q
+	_, err := e.inferBatchValidated(os.qs[:], os.out[:], &os.s)
+	pred := os.out[0]
+	os.qs[0] = nil
+	e.onePool.Put(os)
 	if err != nil {
 		return 0, err
 	}
-	return e.forward(feat)
-}
-
-// forward runs the quantized FC tower on a float feature vector.
-func (e *Engine) forward(feat []float32) (float32, error) {
-	f := e.cfg.Precision
-	x := make([]int64, len(feat))
-	for i, v := range feat {
-		x[i] = f.Quantize(float64(v))
-	}
-	for l, d := range e.dims {
-		in, out := d[0], d[1]
-		if len(x) != in {
-			return 0, fmt.Errorf("core: layer %d input %d, want %d", l, len(x), in)
-		}
-		w := e.qweights[l]
-		y := make([]int64, out)
-		for j := 0; j < out; j++ {
-			var acc int64
-			for i := 0; i < in; i++ {
-				acc = f.MulAcc(acc, x[i], w[i*out+j])
-			}
-			y[j] = f.Add(f.Finish(acc), e.qbiases[l][j])
-		}
-		if l < len(e.dims)-1 {
-			fixedpoint.ReLU(y)
-		}
-		x = y
-	}
-	logit := x[0]
-	return float32(f.Dequantize(f.Sigmoid(logit))), nil
+	return pred, nil
 }
 
 // ReferenceOne computes the same prediction in float32 (the software
@@ -300,13 +300,17 @@ type InferResult struct {
 
 // Infer runs a batch of queries: functionally through the fixed-point
 // datapath, and through the timing model as a back-to-back item stream (the
-// accelerator has no batching, §4.1). The functional computation splits the
-// batch across goroutines, each running the blocked batch kernel with its own
-// scratch — the engine is immutable after Build, so concurrent chunks are
-// safe. Predictions are bit-identical to per-query InferOne.
+// accelerator has no batching, §4.1). Queries are validated once at entry;
+// the functional computation then splits the batch across goroutines, each
+// running the blocked batch kernel with its own scratch — the engine is
+// immutable after Build, so concurrent chunks are safe. Predictions are
+// bit-identical to per-query InferOne.
 func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no queries")
+	}
+	if err := e.validateBatch(queries, 0); err != nil {
+		return nil, err
 	}
 	preds := make([]float32, len(queries))
 	var (
@@ -327,7 +331,7 @@ func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			if _, err := e.inferBatch(queries[lo:hi], preds[lo:hi], nil, lo); err != nil {
+			if _, err := e.inferBatchValidated(queries[lo:hi], preds[lo:hi], nil); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -340,7 +344,7 @@ func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	rep, err := e.cfg.Simulate(e.spec, e.pipelineNS, len(queries))
+	rep, err := e.cfg.Simulate(e.spec, e.EffectiveLookupNS(), len(queries))
 	if err != nil {
 		return nil, err
 	}
@@ -348,9 +352,18 @@ func (e *Engine) Infer(queries []embedding.Query) (*InferResult, error) {
 }
 
 // Timing runs only the timing model for `items` inferences (no functional
-// computation), useful for large sweeps.
+// computation), useful for large sweeps. The lookup stage runs at the
+// engine's current effective lookup latency — identical to the cold plan
+// latency unless a live hot-row cache is attached and warm.
 func (e *Engine) Timing(items int) (TimingReport, error) {
-	return e.cfg.Simulate(e.spec, e.pipelineNS, items)
+	return e.TimingAt(items, e.EffectiveLookupNS())
+}
+
+// TimingAt runs the timing model with an explicit embedding-lookup latency,
+// letting callers pin the lookup stage (e.g. SLA admission uses the
+// cache-cold LookupNS; dashboards use EffectiveLookupNS).
+func (e *Engine) TimingAt(items int, lookupNS float64) (TimingReport, error) {
+	return e.cfg.Simulate(e.spec, lookupNS, items)
 }
 
 // TracePipeline simulates `items` inferences and writes a Chrome-trace JSON

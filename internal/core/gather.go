@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"microrec/internal/embedding"
+	"microrec/internal/memsim"
+)
+
+// This file implements the batched gather datapath: a gather plan compiled
+// once at Build (per-physical-table feature offsets, materialised-product
+// index scalers, channel-group shards) feeding GatherBatch, which resolves a
+// whole micro-batch's lookups table-major — one pass per physical table
+// across all queries — and quantizes each embedding vector directly into the
+// fixed-point batch buffer. That eliminates the per-query float feature
+// vector of the original Gather→quantize pipeline and every per-call
+// allocation in the hot loop.
+//
+// Sharding mirrors the hardware: the placement plan assigns physical tables
+// to HBM/DDR/on-chip banks that operate in parallel; the plan's bank ("HBM
+// channel") groups are balanced into at most maxGatherShards goroutine
+// shards. Tables write disjoint feature columns, so shards need no locks.
+
+// gatherParallelMinBatch is the batch size below which GatherBatch stays on
+// the calling goroutine: for small batches the per-shard spawn overhead
+// exceeds the gather work (which is ~1 µs/query on the small model). The
+// inline path is also strictly allocation-free, which the steady-state
+// zero-alloc test relies on.
+const gatherParallelMinBatch = 32
+
+// maxGatherShards caps the goroutines one GatherBatch call fans out to.
+const maxGatherShards = 8
+
+// gatherSource is one source table's slot inside a physical table.
+type gatherSource struct {
+	srcID int // index into the query / spec tables
+	dim   int
+	// lookups is the per-inference lookup count (mirrors the physical
+	// table's; kept here so the virtual path needs no parent access).
+	lookups int
+	// actualRows is the materialised row count: a validated logical index
+	// maps onto storage as idx % actualRows (capacity scaling).
+	actualRows int64
+	// stride is the source's mixed-radix multiplier inside the
+	// materialised product's row index (1 for the last source). Unused on
+	// the virtual path.
+	stride int64
+	// featOff is where this source's lookup round 0 starts in the
+	// concatenated feature vector; round r adds r*dim.
+	featOff int
+	// data is the source table's row-major storage for the virtual path
+	// (nil when the physical table is materialised).
+	data []float32
+	// vecBytes is the byte size of one access on the virtual path.
+	vecBytes int
+	// cacheID is the hot-row cache's key namespace for this access stream.
+	cacheID int
+}
+
+// gatherTable is one physical table's compiled lookup recipe.
+type gatherTable struct {
+	lookups  int
+	vecBytes int       // bytes moved by one materialised access
+	dim      int64     // materialised row length (sum of source dims)
+	mat      []float32 // materialised product rows; nil => virtual path
+	cacheID  int       // cache key namespace of the materialised stream
+	srcs     []gatherSource
+}
+
+// gatherPlan is the whole model's compiled gather schedule.
+type gatherPlan struct {
+	tables []gatherTable
+	// shards groups physical-table indices by the placement plan's memory
+	// banks, balanced over at most maxGatherShards goroutines.
+	shards [][]int
+	// denseOff is where the dense tail starts in the feature vector.
+	denseOff int
+	// hitScale is the modeled on-chip/DRAM per-access latency ratio: a
+	// hot-row cache hit costs hitScale of a DRAM access, so the effective
+	// lookup latency is pipelineNS*(1 - hitRate*(1-hitScale)).
+	hitScale float64
+}
+
+// compileGatherPlan builds the engine's gather plan from the placement plan,
+// the embedding store and the materialised products. Called once in Build.
+func (e *Engine) compileGatherPlan() (gatherPlan, error) {
+	layout := e.plan.Layout
+	p := gatherPlan{
+		tables:   make([]gatherTable, len(layout.Tables)),
+		denseOff: e.featureLen - e.spec.DenseDim,
+	}
+	cacheID := 0
+	var accBytes, accCount float64
+	for pi, pt := range layout.Tables {
+		gt := gatherTable{
+			lookups:  pt.Lookups(),
+			vecBytes: pt.VectorBytes(),
+			dim:      int64(pt.Dim()),
+			srcs:     make([]gatherSource, len(pt.Sources)),
+		}
+		for i, src := range pt.Sources {
+			tab, err := e.store.Table(src.ID)
+			if err != nil {
+				return gatherPlan{}, err
+			}
+			gt.srcs[i] = gatherSource{
+				srcID:      src.ID,
+				dim:        src.Dim,
+				lookups:    src.Lookups,
+				actualRows: tab.Rows(),
+				featOff:    e.featureOffset[src.ID],
+				vecBytes:   src.Dim * 4,
+			}
+		}
+		if m := e.products[pi]; m != nil {
+			gt.mat = m.Data
+			gt.cacheID = cacheID
+			cacheID++
+			// Mixed-radix strides over the materialised source row
+			// counts: the first source varies slowest.
+			stride := int64(1)
+			for i := len(gt.srcs) - 1; i >= 0; i-- {
+				gt.srcs[i].stride = stride
+				stride *= gt.srcs[i].actualRows
+			}
+			accBytes += float64(gt.lookups * gt.vecBytes)
+			accCount += float64(gt.lookups)
+		} else {
+			for i := range gt.srcs {
+				s := &gt.srcs[i]
+				tab, err := e.store.Table(s.srcID)
+				if err != nil {
+					return gatherPlan{}, err
+				}
+				s.data = tab.Data()
+				s.cacheID = cacheID
+				cacheID++
+				accBytes += float64(s.lookups * s.vecBytes)
+				accCount += float64(s.lookups)
+			}
+		}
+		p.tables[pi] = gt
+	}
+	meanBytes := 0
+	if accCount > 0 {
+		meanBytes = int(accBytes / accCount)
+	}
+	p.hitScale = memsim.OnChipTiming.AccessNS(meanBytes) / memsim.HBMTiming.AccessNS(meanBytes)
+	p.shards = e.shardByChannelGroup()
+	return p, nil
+}
+
+// shardByChannelGroup groups physical tables by their assigned memory bank
+// and balances the bank groups over at most maxGatherShards shards by
+// estimated per-bank access cost (longest-processing-time greedy) — the
+// software analogue of the paper's parallel HBM channels.
+func (e *Engine) shardByChannelGroup() [][]int {
+	layout := e.plan.Layout
+	byBank := make(map[int][]int)
+	for ti := range layout.Tables {
+		b := e.plan.BankOf[ti]
+		byBank[b] = append(byBank[b], ti)
+	}
+	type group struct {
+		tables []int
+		cost   float64
+	}
+	groups := make([]group, 0, len(byBank))
+	for b, tables := range byBank {
+		g := group{tables: tables}
+		for _, ti := range tables {
+			pt := layout.Tables[ti]
+			g.cost += float64(pt.Lookups()) * e.plan.System.Banks[b].Timing.AccessNS(pt.VectorBytes())
+		}
+		groups = append(groups, g)
+	}
+	// Deterministic order: largest cost first, ties by first table index.
+	sort.SliceStable(groups, func(a, b int) bool {
+		if groups[a].cost != groups[b].cost {
+			return groups[a].cost > groups[b].cost
+		}
+		return groups[a].tables[0] < groups[b].tables[0]
+	})
+	n := maxGatherShards
+	if p := runtime.GOMAXPROCS(0); p < n {
+		n = p
+	}
+	if len(groups) < n {
+		n = len(groups)
+	}
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]int, n)
+	costs := make([]float64, n)
+	for _, g := range groups {
+		best := 0
+		for i := 1; i < n; i++ {
+			if costs[i] < costs[best] {
+				best = i
+			}
+		}
+		shards[best] = append(shards[best], g.tables...)
+		costs[best] += g.cost
+	}
+	// Drop empty shards (possible when there are fewer groups than n).
+	out := shards[:0]
+	for _, s := range shards {
+		if len(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// GatherShards reports how many parallel channel-group shards the compiled
+// gather plan uses.
+func (e *Engine) GatherShards() int { return len(e.gplan.shards) }
+
+// GatherBatch resolves a whole micro-batch's embedding lookups table-major —
+// one pass per physical table across all queries, sharded across goroutines
+// by the placement plan's channel groups for batches of at least
+// gatherParallelMinBatch — quantizing every vector directly into the
+// scratch's fixed-point feature rows. It returns the quantized feature
+// matrix backed by the scratch: row qi is feats[qi*stride : qi*stride+n]
+// where n is the model's feature length (the dense tail is zeroed). The
+// row values are bit-identical to quantizing Gather's float output.
+func (e *Engine) GatherBatch(queries []embedding.Query, scratch *BatchScratch) (feats []int64, stride int, err error) {
+	if len(queries) == 0 {
+		return nil, 0, fmt.Errorf("core: no queries")
+	}
+	if err := e.validateBatch(queries, 0); err != nil {
+		return nil, 0, err
+	}
+	if scratch == nil {
+		scratch = &BatchScratch{}
+	}
+	scratch.ensure(e, len(queries))
+	e.gatherBatchValidated(queries, scratch)
+	return scratch.x, e.width, nil
+}
+
+// gatherBatchValidated is the hot gather path. Queries must already have
+// passed ValidateQuery; the loop performs no validation and no allocation.
+func (e *Engine) gatherBatchValidated(queries []embedding.Query, s *BatchScratch) {
+	b := len(queries)
+	w := e.width
+	// The scratch is reused, so zero the dense tail of every feature row;
+	// the embedding region is fully overwritten by the table passes.
+	for qi := 0; qi < b; qi++ {
+		row := s.x[qi*w+e.gplan.denseOff : qi*w+e.featureLen]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	if b < gatherParallelMinBatch || len(e.gplan.shards) <= 1 {
+		for _, shard := range e.gplan.shards {
+			e.gatherTables(shard, queries, s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.gplan.shards))
+	for _, shard := range e.gplan.shards {
+		go e.gatherShard(&wg, shard, queries, s)
+	}
+	wg.Wait()
+}
+
+func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embedding.Query, s *BatchScratch) {
+	defer wg.Done()
+	e.gatherTables(tables, queries, s)
+}
+
+// gatherTables runs the table-major gather for one shard's physical tables:
+// for each table (and lookup round) it walks the whole batch, computes the
+// physical row, optionally records the access against the live hot-row
+// cache, and quantizes the payload into each query's fixed-point feature
+// row. Distinct tables write disjoint feature columns, so shards never
+// overlap.
+func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch) {
+	f := e.cfg.Precision
+	w := e.width
+	cache := e.cache
+	for _, ti := range tables {
+		gt := &e.gplan.tables[ti]
+		if gt.mat != nil {
+			dim := gt.dim
+			for r := 0; r < gt.lookups; r++ {
+				for qi, q := range queries {
+					var row int64
+					for si := range gt.srcs {
+						src := &gt.srcs[si]
+						row += (q[src.srcID][r] % src.actualRows) * src.stride
+					}
+					if cache != nil {
+						cache.Lookup(gt.cacheID, row, gt.vecBytes)
+					}
+					payload := gt.mat[row*dim : row*dim+dim]
+					out := s.x[qi*w : qi*w+e.featureLen]
+					seg := 0
+					for si := range gt.srcs {
+						src := &gt.srcs[si]
+						off := src.featOff + r*src.dim
+						for k := 0; k < src.dim; k++ {
+							out[off+k] = f.Quantize(float64(payload[seg+k]))
+						}
+						seg += src.dim
+					}
+				}
+			}
+			continue
+		}
+		for si := range gt.srcs {
+			src := &gt.srcs[si]
+			d := src.dim
+			d64 := int64(d)
+			for r := 0; r < src.lookups; r++ {
+				off := src.featOff + r*d
+				for qi, q := range queries {
+					mrow := q[src.srcID][r] % src.actualRows
+					if cache != nil {
+						cache.Lookup(src.cacheID, mrow, src.vecBytes)
+					}
+					vec := src.data[mrow*d64 : mrow*d64+d64]
+					out := s.x[qi*w+off : qi*w+off+d]
+					for k := 0; k < d; k++ {
+						out[k] = f.Quantize(float64(vec[k]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- live hot-row cache ----
+
+// HotCacheInfo is a snapshot of the engine's live hot-row cache.
+type HotCacheInfo struct {
+	CapacityBytes int64
+	UsedBytes     int64
+	Entries       int
+	Hits          int64
+	Misses        int64
+	// HitRate is Hits/(Hits+Misses), 0 when idle.
+	HitRate float64
+	// EffectiveLookupNS is the modeled per-inference lookup latency at the
+	// current hit rate (LookupNS when the cache is cold or idle).
+	EffectiveLookupNS float64
+}
+
+// HotCacheEnabled reports whether a live hot-row cache is attached
+// (Config.HotCacheBytes > 0 at Build).
+func (e *Engine) HotCacheEnabled() bool { return e.cache != nil }
+
+// HotCache snapshots the live hot-row cache; ok is false when none is
+// attached.
+func (e *Engine) HotCache() (info HotCacheInfo, ok bool) {
+	if e.cache == nil {
+		return HotCacheInfo{}, false
+	}
+	st := e.cache.Stats()
+	hr := st.HitRate()
+	return HotCacheInfo{
+		CapacityBytes:     e.cache.CapacityBytes(),
+		UsedBytes:         st.UsedBytes,
+		Entries:           st.Entries,
+		Hits:              st.Hits,
+		Misses:            st.Misses,
+		HitRate:           hr,
+		EffectiveLookupNS: e.effectiveLookupNS(hr),
+	}, true
+}
+
+func (e *Engine) effectiveLookupNS(hitRate float64) float64 {
+	return e.pipelineNS * (1 - hitRate*(1-e.gplan.hitScale))
+}
+
+// HotCacheHitRate returns the live cache's current hit rate from its atomic
+// counters — no shard locks, cheap enough for per-batch serving reads; ok is
+// false when no cache is attached.
+func (e *Engine) HotCacheHitRate() (rate float64, ok bool) {
+	if e.cache == nil {
+		return 0, false
+	}
+	return e.cache.HitRate(), true
+}
+
+// EffectiveLookupNS returns the modeled per-inference embedding-lookup
+// latency at the live hot-row cache's current hit rate: a hit costs the
+// on-chip fraction of a DRAM access, so the plan latency shrinks as the
+// cache warms. Without a cache it equals LookupNS.
+func (e *Engine) EffectiveLookupNS() float64 {
+	if e.cache == nil {
+		return e.pipelineNS
+	}
+	return e.effectiveLookupNS(e.cache.HitRate())
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"microrec/internal/model"
+)
+
+// randomSpec generates a small random model: table counts, dims, lookup
+// cadences, dense tails and tower shapes all vary, so the batched gather's
+// product strides, virtual fallbacks and GEMM tails are exercised across
+// geometries no hand-written fixture would cover.
+func randomSpec(rng *rand.Rand, name string) *model.Spec {
+	nt := 3 + rng.Intn(5)
+	tables := make([]model.TableSpec, nt)
+	for i := range tables {
+		tables[i] = model.TableSpec{
+			ID:      i,
+			Name:    fmt.Sprintf("%s-t%d", name, i),
+			Rows:    int64(8 + rng.Intn(300)),
+			Dim:     1 + rng.Intn(12),
+			Lookups: 1 + rng.Intn(3),
+		}
+	}
+	nh := 1 + rng.Intn(3)
+	hidden := make([]int, nh)
+	for i := range hidden {
+		hidden[i] = 5 + rng.Intn(36)
+	}
+	return &model.Spec{
+		Name:     name,
+		Tables:   tables,
+		DenseDim: rng.Intn(7),
+		Hidden:   hidden,
+	}
+}
+
+// TestGatherBatchMatchesGather checks that the batched table-major gather
+// produces, for every query and feature position, exactly the quantized
+// value of the per-query float Gather — the bit-identity contract the whole
+// batched datapath rests on.
+func TestGatherBatchMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := []*model.Spec{model.SmallProduction(), oddSpec()}
+	for i := 0; i < 4; i++ {
+		specs = append(specs, randomSpec(rng, fmt.Sprintf("rand-%d", i)))
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: invalid spec: %v", spec.Name, err)
+		}
+		cfg := ConfigFor(spec.Name, SmallFP16().Precision)
+		e := buildEngine(t, spec, cfg, true)
+		f := e.cfg.Precision
+		var scratch BatchScratch
+		for _, b := range []int{1, 3, 33, 64} {
+			qs := randomQueries(spec, b, int64(100*b))
+			feats, stride, err := e.GatherBatch(qs, &scratch)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, b, err)
+			}
+			for qi, q := range qs {
+				want, err := e.Gather(q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row := feats[qi*stride : qi*stride+e.featureLen]
+				for k, v := range want {
+					if row[k] != f.Quantize(float64(v)) {
+						t.Fatalf("%s b=%d query %d feature %d: batched %d, quantized gather %d",
+							spec.Name, b, qi, k, row[k], f.Quantize(float64(v)))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchPropertyRandomSpecs is the end-to-end property test: across
+// random model geometries and batch sizes, the batched gather + blocked GEMM
+// datapath is bit-identical to per-query InferOne — with and without a live
+// hot-row cache attached (the cache must never change predictions).
+func TestInferBatchPropertyRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomSpec(rng, fmt.Sprintf("prop-%d", trial))
+		cfg := ConfigFor(spec.Name, SmallFP16().Precision)
+		if trial%2 == 1 {
+			cfg.Precision = SmallFP32().Precision
+		}
+		cached := cfg
+		cached.HotCacheBytes = 1 << 16
+		plain := buildEngine(t, spec, cfg, true)
+		withCache := buildEngine(t, spec, cached, true)
+		if !withCache.HotCacheEnabled() {
+			t.Fatal("hot cache not attached")
+		}
+		for _, b := range []int{1, 2, 5, 8, 31, 64, 67} {
+			qs := randomQueries(spec, b, int64(trial*1000+b))
+			got, err := plain.InferBatch(qs, nil, nil)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, b, err)
+			}
+			gotCached, err := withCache.InferBatch(qs, nil, nil)
+			if err != nil {
+				t.Fatalf("%s b=%d cached: %v", spec.Name, b, err)
+			}
+			for i, q := range qs {
+				want, err := plain.InferOne(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Fatalf("%s b=%d query %d: batch %v, one-at-a-time %v", spec.Name, b, i, got[i], want)
+				}
+				if gotCached[i] != want {
+					t.Fatalf("%s b=%d query %d: cached engine %v, want %v (cache must be transparent)",
+						spec.Name, b, i, gotCached[i], want)
+				}
+			}
+		}
+		if info, ok := withCache.HotCache(); !ok || info.Hits+info.Misses == 0 {
+			t.Fatalf("%s: cache saw no traffic (info=%+v ok=%v)", spec.Name, info, ok)
+		}
+	}
+}
+
+// TestGatherBatchSteadyStateAllocs pins the zero-allocation contract of the
+// gather hot loop: with a reused scratch, the inline path allocates nothing,
+// and the channel-sharded parallel path amortises its per-batch goroutine
+// fan-out to well under one allocation per query.
+func TestGatherBatchSteadyStateAllocs(t *testing.T) {
+	spec := model.SmallProduction()
+	e := buildEngine(t, spec, SmallFP16(), true)
+	var scratch BatchScratch
+
+	inline := randomQueries(spec, gatherParallelMinBatch-1, 3)
+	if _, _, err := e.GatherBatch(inline, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := e.GatherBatch(inline, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("inline gather: %v allocs per call, want 0", allocs)
+	}
+
+	parallel := randomQueries(spec, 64, 4)
+	if _, _, err := e.GatherBatch(parallel, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := e.GatherBatch(parallel, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perQuery := allocs / 64; perQuery >= 1 {
+		t.Errorf("parallel gather: %v allocs per query (%v per batch), want < 1", perQuery, allocs)
+	}
+}
+
+// TestGatherShardsCoverAllTables checks the channel-group sharding: every
+// physical table appears in exactly one shard, and the shard count respects
+// the cap.
+func TestGatherShardsCoverAllTables(t *testing.T) {
+	for _, spec := range []*model.Spec{model.SmallProduction(), model.LargeProduction(), oddSpec()} {
+		e := buildEngine(t, spec, ConfigFor(spec.Name, SmallFP16().Precision), true)
+		seen := make(map[int]int)
+		for si, shard := range e.gplan.shards {
+			if len(shard) == 0 {
+				t.Errorf("%s: shard %d is empty", spec.Name, si)
+			}
+			for _, ti := range shard {
+				if prev, dup := seen[ti]; dup {
+					t.Errorf("%s: table %d in shards %d and %d", spec.Name, ti, prev, si)
+				}
+				seen[ti] = si
+			}
+		}
+		if len(seen) != len(e.plan.Layout.Tables) {
+			t.Errorf("%s: shards cover %d of %d physical tables", spec.Name, len(seen), len(e.plan.Layout.Tables))
+		}
+		if got := e.GatherShards(); got > maxGatherShards {
+			t.Errorf("%s: %d shards, cap %d", spec.Name, got, maxGatherShards)
+		}
+	}
+}
+
+// TestGatherBatchParallelShards forces a multi-shard gather plan (the shard
+// count is capped by GOMAXPROCS, which is 1 on single-core CI boxes) and
+// checks the goroutine fan-out path produces the same bits as the per-query
+// gather — with a live hot cache attached so the sharded cache is hammered
+// from the gather goroutines too (run under -race).
+func TestGatherBatchParallelShards(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	spec := model.SmallProduction()
+	cfg := SmallFP16()
+	cfg.HotCacheBytes = 1 << 16
+	e := buildEngine(t, spec, cfg, true)
+	if e.GatherShards() < 2 {
+		t.Fatalf("want a multi-shard plan, got %d shards", e.GatherShards())
+	}
+	f := e.cfg.Precision
+	var scratch BatchScratch
+	b := 2 * gatherParallelMinBatch // well past the inline threshold
+	qs := randomQueries(spec, b, 23)
+	for rep := 0; rep < 3; rep++ {
+		feats, stride, err := e.GatherBatch(qs, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			want, err := e.Gather(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := feats[qi*stride : qi*stride+e.featureLen]
+			for k, v := range want {
+				if row[k] != f.Quantize(float64(v)) {
+					t.Fatalf("rep %d query %d feature %d: parallel %d, want %d",
+						rep, qi, k, row[k], f.Quantize(float64(v)))
+				}
+			}
+		}
+	}
+	if info, ok := e.HotCache(); !ok || info.Hits == 0 {
+		t.Errorf("repeated batches through the sharded cache should hit (info=%+v)", info)
+	}
+}
+
+// TestGatherBatchValidation checks the public GatherBatch rejects malformed
+// batches with the failing query named.
+func TestGatherBatchValidation(t *testing.T) {
+	spec := model.SmallProduction()
+	e := buildEngine(t, spec, SmallFP16(), true)
+	if _, _, err := e.GatherBatch(nil, nil); err == nil {
+		t.Error("empty batch: want error")
+	}
+	qs := randomQueries(spec, 3, 1)
+	qs[2] = qs[2][:4]
+	_, _, err := e.GatherBatch(qs, nil)
+	if err == nil {
+		t.Fatal("malformed query: want error")
+	}
+	if want := "query 2"; !contains(err.Error(), want) {
+		t.Errorf("error %q should name %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHotCacheConcurrentWorkers drives one shared engine with a live hot-row
+// cache from concurrent goroutines mixing batched inference and stats reads —
+// the serving worker-pool pattern — and checks predictions stay bit-identical
+// throughout (run under -race in CI).
+func TestHotCacheConcurrentWorkers(t *testing.T) {
+	spec := model.SmallProduction()
+	cfg := SmallFP16()
+	cfg.HotCacheBytes = 1 << 18
+	e := buildEngine(t, spec, cfg, true)
+	qs := randomQueries(spec, 64, 17)
+	want, err := e.InferBatch(qs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			var scratch BatchScratch
+			preds := make([]float32, len(qs))
+			for rep := 0; rep < 5; rep++ {
+				if _, err := e.InferBatchValidated(qs, preds, &scratch); err != nil {
+					t.Errorf("worker: %v", err)
+					return
+				}
+				for i := range preds {
+					if preds[i] != want[i] {
+						t.Errorf("worker diverged at query %d", i)
+						return
+					}
+				}
+				if _, ok := e.HotCache(); !ok {
+					t.Error("hot cache vanished")
+					return
+				}
+				_ = e.EffectiveLookupNS()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	info, ok := e.HotCache()
+	if !ok {
+		t.Fatal("no cache info")
+	}
+	if info.Hits == 0 {
+		t.Error("repeated identical batches should hit the cache")
+	}
+	if info.EffectiveLookupNS >= e.LookupNS() {
+		t.Errorf("warm cache: effective lookup %v should beat cold %v", info.EffectiveLookupNS, e.LookupNS())
+	}
+}
+
+// TestEffectiveLookupNS checks the hit-rate scaling of the modeled lookup
+// latency: cold == plan latency, warm strictly faster, floor at the on-chip
+// fraction.
+func TestEffectiveLookupNS(t *testing.T) {
+	spec := oddSpec()
+	cfg := ConfigFor(spec.Name, SmallFP16().Precision)
+	plain := buildEngine(t, spec, cfg, true)
+	if got := plain.EffectiveLookupNS(); got != plain.LookupNS() {
+		t.Errorf("no cache: effective %v != cold %v", got, plain.LookupNS())
+	}
+	if _, ok := plain.HotCache(); ok {
+		t.Error("no cache expected")
+	}
+	cfg.HotCacheBytes = 1 << 20
+	e := buildEngine(t, spec, cfg, true)
+	if got := e.EffectiveLookupNS(); got != e.LookupNS() {
+		t.Errorf("idle cache: effective %v != cold %v", got, e.LookupNS())
+	}
+	qs := randomQueries(spec, 48, 5)
+	for rep := 0; rep < 4; rep++ {
+		if _, err := e.InferBatch(qs, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eff := e.EffectiveLookupNS()
+	if eff >= e.LookupNS() {
+		t.Errorf("warm cache: effective %v should beat cold %v", eff, e.LookupNS())
+	}
+	if floor := e.LookupNS() * e.gplan.hitScale; eff < floor-1e-9 {
+		t.Errorf("effective %v below on-chip floor %v", eff, floor)
+	}
+}

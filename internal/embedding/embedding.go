@@ -57,6 +57,13 @@ func (t *Table) Lookup(index int64) ([]float32, error) {
 // Bytes returns the materialised storage footprint.
 func (t *Table) Bytes() int64 { return int64(len(t.data)) * model.FloatBytes }
 
+// Data returns the table's materialised row-major storage (Rows()*Dim
+// float32s). The slice aliases internal storage and must be treated as
+// read-only. It exists for the engine's compiled gather plan, which resolves
+// materialised rows directly without per-lookup validation; all other callers
+// should use Lookup.
+func (t *Table) Data() []float32 { return t.data }
+
 // Store holds a model's embedding tables indexed by table ID and implements
 // the gather-and-concatenate step of the embedding layer.
 type Store struct {

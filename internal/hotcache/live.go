@@ -1,0 +1,138 @@
+package hotcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLiveShards is the shard count NewLive uses when the caller passes 0.
+// Eight shards keep lock contention negligible for the engine's gather
+// goroutines (which are themselves capped well below typical core counts)
+// while keeping the aggregate LRU close to a single global one.
+const DefaultLiveShards = 8
+
+// Live is a thread-safe hot-row cache fronting the engine's batched gather
+// datapath. Where Simulate replays a recorded query stream offline, Live is
+// wired into the real inference path: every physical-table access the gather
+// unit resolves is recorded against it, and the observed hit rate drives the
+// engine's modeled effective lookup latency (EffectiveLookupNS).
+//
+// The cache is sharded by a hash of the (access stream, row) key, each shard
+// a mutex-protected LRU holding an equal slice of the byte capacity, so one
+// hot table spreads over every shard (using the full capacity) and
+// concurrent lookups against the same table land on different locks. Hit and
+// miss totals are kept in atomics so hit-rate reads never touch the shard
+// locks.
+type Live struct {
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shards   []liveShard
+	capacity int64
+}
+
+type liveShard struct {
+	mu sync.Mutex
+	c  *Cache
+	// pad rounds the shard to 64 bytes so neighbouring shard locks sit on
+	// distinct cache lines.
+	_ [48]byte
+}
+
+// NewLive creates a live cache with the given byte capacity split over
+// `shards` LRU shards (DefaultLiveShards when 0). The shard count is clamped
+// so every shard holds at least one byte of capacity.
+func NewLive(capacityBytes int64, shards int) (*Live, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("hotcache: capacity %d", capacityBytes)
+	}
+	if shards <= 0 {
+		shards = DefaultLiveShards
+	}
+	if int64(shards) > capacityBytes {
+		shards = int(capacityBytes)
+	}
+	l := &Live{shards: make([]liveShard, shards), capacity: capacityBytes}
+	per := capacityBytes / int64(shards)
+	rem := capacityBytes % int64(shards)
+	for i := range l.shards {
+		cap := per
+		if int64(i) < rem {
+			cap++
+		}
+		c, err := New(cap)
+		if err != nil {
+			return nil, err
+		}
+		l.shards[i].c = c
+	}
+	return l, nil
+}
+
+// CapacityBytes returns the total configured capacity.
+func (l *Live) CapacityBytes() int64 { return l.capacity }
+
+// shardOf hashes the (stream, row) key onto a shard so one stream's rows
+// spread over every shard (splitmix64-style mixing).
+func (l *Live) shardOf(id int, row int64) *liveShard {
+	h := uint64(id)*0x9E3779B97F4A7C15 + uint64(row)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return &l.shards[h%uint64(len(l.shards))]
+}
+
+// Lookup records one access of `bytes` bytes against row `row` of access
+// stream `id`, inserting on miss (see Cache.Lookup). It is safe for
+// concurrent use.
+func (l *Live) Lookup(id int, row int64, bytes int) bool {
+	s := l.shardOf(id, row)
+	s.mu.Lock()
+	hit := s.c.Lookup(id, row, bytes)
+	s.mu.Unlock()
+	if hit {
+		l.hits.Add(1)
+	} else {
+		l.misses.Add(1)
+	}
+	return hit
+}
+
+// HitRate returns hits/(hits+misses) (0 when idle) from the atomic totals —
+// no shard locks, so the serving hot path can read it per batch.
+func (l *Live) HitRate() float64 {
+	h, m := l.hits.Load(), l.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Stats aggregates a snapshot over all shards. Hit/miss totals come from the
+// atomic counters; per-shard occupancy is snapshotted one shard at a time,
+// so the aggregate is approximate under concurrent traffic (each shard's
+// numbers are individually consistent).
+func (l *Live) Stats() Stats {
+	agg := Stats{Hits: l.hits.Load(), Misses: l.misses.Load()}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		st := s.c.Stats()
+		s.mu.Unlock()
+		agg.UsedBytes += st.UsedBytes
+		agg.Entries += st.Entries
+	}
+	return agg
+}
+
+// ResetStats clears hit/miss counters, keeping cached contents.
+func (l *Live) ResetStats() {
+	l.hits.Store(0)
+	l.misses.Store(0)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.c.ResetStats()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,110 @@
+package hotcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewLiveValidation(t *testing.T) {
+	if _, err := NewLive(0, 4); err == nil {
+		t.Error("zero capacity: want error")
+	}
+	if _, err := NewLive(-5, 4); err == nil {
+		t.Error("negative capacity: want error")
+	}
+	l, err := NewLive(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.CapacityBytes(); got != 3 {
+		t.Errorf("capacity %d, want 3", got)
+	}
+	// Shard count clamps so every shard holds at least one byte.
+	if n := len(l.shards); n != 3 {
+		t.Errorf("%d shards for 3 bytes, want 3", n)
+	}
+}
+
+func TestLiveCapacitySplit(t *testing.T) {
+	l, err := NewLive(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range l.shards {
+		total += l.shards[i].c.capacity
+	}
+	if total != 100 {
+		t.Errorf("shard capacities sum to %d, want 100", total)
+	}
+}
+
+func TestLiveHitMissAggregation(t *testing.T) {
+	l, err := NewLive(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two streams: stream 0 repeats one row (hits after the first access),
+	// stream 1 streams distinct rows (all misses).
+	for i := 0; i < 10; i++ {
+		l.Lookup(0, 7, 64)
+		l.Lookup(1, int64(i), 64)
+	}
+	st := l.Stats()
+	if st.Hits != 9 {
+		t.Errorf("hits %d, want 9", st.Hits)
+	}
+	if st.Misses != 11 {
+		t.Errorf("misses %d, want 11", st.Misses)
+	}
+	if st.Entries != 11 {
+		t.Errorf("entries %d, want 11", st.Entries)
+	}
+	if st.UsedBytes != 11*64 {
+		t.Errorf("used %d, want %d", st.UsedBytes, 11*64)
+	}
+	l.ResetStats()
+	st = l.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("after reset: hits=%d misses=%d, want 0/0", st.Hits, st.Misses)
+	}
+	if st.Entries != 11 {
+		t.Errorf("reset should keep contents, entries %d", st.Entries)
+	}
+	// Contents survive: the hot row still hits.
+	if !l.Lookup(0, 7, 64) {
+		t.Error("hot row evicted by ResetStats")
+	}
+}
+
+// TestLiveConcurrent hammers the cache from concurrent goroutines across
+// overlapping streams, interleaving Stats/ResetStats readers — the access
+// pattern of the engine's sharded gather plus the /stats endpoint (run
+// under -race).
+func TestLiveConcurrent(t *testing.T) {
+	l, err := NewLive(1<<14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lookup(w%4, int64(i%97), 32)
+				if i%101 == 0 {
+					_ = l.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Hits+st.Misses != 8*2000 {
+		t.Errorf("accesses %d, want %d", st.Hits+st.Misses, 8*2000)
+	}
+	if st.UsedBytes > l.CapacityBytes() {
+		t.Errorf("used %d exceeds capacity %d", st.UsedBytes, l.CapacityBytes())
+	}
+}

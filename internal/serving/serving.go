@@ -140,8 +140,20 @@ type Server struct {
 	occupancy *metrics.Rolling // dispatched batch sizes
 
 	timingMu    sync.Mutex
-	timingCache map[int]core.TimingReport
+	timingCache map[timingKey]core.TimingReport
 }
+
+// timingKey caches timing reports per batch size. With a live hot-row cache
+// attached, the lookup stage's latency tracks the observed hit rate, so the
+// key also carries the hit rate bucketed to whole percent (reports within a
+// bucket are indistinguishable at serving granularity). coldPct marks the
+// cache-cold reports SLA admission uses.
+type timingKey struct {
+	items  int
+	hitPct int
+}
+
+const coldPct = -1
 
 // New starts a server around an engine. The returned server owns background
 // goroutines; callers must Close it.
@@ -160,7 +172,7 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 		batches:     make(chan []*request, 2*opts.Workers),
 		latencyUS:   metrics.NewRolling(opts.StatsWindow),
 		occupancy:   metrics.NewRolling(opts.StatsWindow),
-		timingCache: make(map[int]core.TimingReport),
+		timingCache: make(map[timingKey]core.TimingReport),
 	}
 	s.wg.Add(1 + opts.Workers)
 	go s.batcher()
@@ -292,6 +304,8 @@ func (s *Server) batcher() {
 
 // worker drains batches through the engine's blocked batch datapath. Each
 // worker owns a private scratch; the engine itself is immutable and shared.
+// Queries were validated once at admission (Submit), so workers use the
+// validated fast path and skip the second shape/range pass.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var scratch core.BatchScratch
@@ -302,7 +316,7 @@ func (s *Server) worker() {
 		for _, r := range batch {
 			queries = append(queries, r.q)
 		}
-		_, err := s.eng.InferBatch(queries, preds[:len(batch)], &scratch)
+		_, err := s.eng.InferBatchValidated(queries, preds[:len(batch)], &scratch)
 		var rep core.TimingReport
 		if err == nil {
 			rep, err = s.timing(len(batch))
@@ -331,17 +345,36 @@ func (s *Server) worker() {
 	}
 }
 
-// timing returns the modeled timing report for a batch size, cached per
-// size (the report is deterministic in the item count).
+// timing returns the modeled timing report for a batch size at the engine's
+// current effective lookup latency, cached per (size, hit-rate bucket) — the
+// report is deterministic in those inputs at percent granularity. The bucket
+// comes from the cache's lock-free atomic counters, so the per-batch call
+// stays off the gather path's shard locks.
 func (s *Server) timing(items int) (core.TimingReport, error) {
+	key := timingKey{items: items}
+	if hr, ok := s.eng.HotCacheHitRate(); ok {
+		key.hitPct = int(hr*100 + 0.5)
+	}
+	return s.timingFor(key, s.eng.EffectiveLookupNS())
+}
+
+// coldTiming returns the timing report with a cold hot-row cache (the plan's
+// unassisted lookup latency). SLA admission must use this: a warm cache
+// improves the expected latency, never the worst-case bound.
+func (s *Server) coldTiming(items int) (core.TimingReport, error) {
+	return s.timingFor(timingKey{items: items, hitPct: coldPct}, s.eng.LookupNS())
+}
+
+// timingFor memoises one timing-model run per key.
+func (s *Server) timingFor(key timingKey, lookupNS float64) (core.TimingReport, error) {
 	s.timingMu.Lock()
 	defer s.timingMu.Unlock()
-	if rep, ok := s.timingCache[items]; ok {
+	if rep, ok := s.timingCache[key]; ok {
 		return rep, nil
 	}
-	rep, err := s.eng.Timing(items)
+	rep, err := s.eng.TimingAt(key.items, lookupNS)
 	if err == nil {
-		s.timingCache[items] = rep
+		s.timingCache[key] = rep
 	}
 	return rep, err
 }
@@ -353,6 +386,20 @@ type LatencySummary struct {
 	P95  float64 `json:"p95"`
 	P99  float64 `json:"p99"`
 	Max  float64 `json:"max"`
+}
+
+// HotCacheStats is the serving-side view of the engine's live hot-row cache.
+type HotCacheStats struct {
+	CapacityBytes int64   `json:"capacity_bytes"`
+	UsedBytes     int64   `json:"used_bytes"`
+	Entries       int     `json:"entries"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	// EffectiveLookupNS is the modeled embedding-lookup latency at the
+	// current hit rate; ColdLookupNS is the uncached plan latency.
+	EffectiveLookupNS float64 `json:"effective_lookup_ns"`
+	ColdLookupNS      float64 `json:"cold_lookup_ns"`
 }
 
 // Stats is a point-in-time view of the server's rolling serving statistics.
@@ -369,6 +416,9 @@ type Stats struct {
 	LatencyUS      LatencySummary `json:"latency_us"`
 	MeanBatch      float64        `json:"mean_batch"`
 	BatchOccupancy float64        `json:"batch_occupancy"`
+	// HotCache reports the engine's live hot-row cache when one is
+	// attached (nil otherwise).
+	HotCache *HotCacheStats `json:"hotcache,omitempty"`
 }
 
 // Stats snapshots the rolling serving statistics.
@@ -395,6 +445,18 @@ func (s *Server) Stats() Stats {
 	if st.MaxBatch > 0 {
 		st.BatchOccupancy = st.MeanBatch / float64(st.MaxBatch)
 	}
+	if info, ok := s.eng.HotCache(); ok {
+		st.HotCache = &HotCacheStats{
+			CapacityBytes:     info.CapacityBytes,
+			UsedBytes:         info.UsedBytes,
+			Entries:           info.Entries,
+			Hits:              info.Hits,
+			Misses:            info.Misses,
+			HitRate:           info.HitRate,
+			EffectiveLookupNS: info.EffectiveLookupNS,
+			ColdLookupNS:      s.eng.LookupNS(),
+		}
+	}
 	return st
 }
 
@@ -402,9 +464,11 @@ func (s *Server) Stats() Stats {
 // budget for any *admitted* query, including the backlog the server itself
 // can hold: full batches in the submit queue, in the dispatch channel and in
 // service, drained by the worker pool (see sla.WorstCaseAdmittedLatencyMS).
-// The full-batch service time comes from the engine's timing model.
+// The full-batch service time comes from the engine's timing model with a
+// cold hot-row cache: admission must hold even before the cache warms (and
+// after any invalidation empties it).
 func (s *Server) ValidateSLA(budget time.Duration) error {
-	rep, err := s.timing(s.opts.MaxBatch)
+	rep, err := s.coldTiming(s.opts.MaxBatch)
 	if err != nil {
 		return err
 	}
@@ -413,11 +477,33 @@ func (s *Server) ValidateSLA(budget time.Duration) error {
 	return sla.ValidateAdmittedWindow(windowMS, rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.opts.Workers)
 }
 
+// AdmittedLatencyBounds returns the worst-case admitted latency (computed
+// from the cache-cold full-batch service time, the figure ValidateSLA
+// enforces) alongside the expected latency at the engine's current effective
+// lookup latency — identical without a hot-row cache, and an increasingly
+// tighter pair as the cache warms.
+func (s *Server) AdmittedLatencyBounds() (worst, expected time.Duration, err error) {
+	cold, err := s.coldTiming(s.opts.MaxBatch)
+	if err != nil {
+		return 0, 0, err
+	}
+	warm, err := s.timing(s.opts.MaxBatch)
+	if err != nil {
+		return 0, 0, err
+	}
+	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
+	worstMS, expectedMS := sla.AdmittedLatencyBoundsMS(
+		windowMS, cold.MakespanNS/1e6, warm.MakespanNS/1e6, s.backlogBatches(), s.opts.Workers)
+	return time.Duration(worstMS * float64(time.Millisecond)),
+		time.Duration(expectedMS * float64(time.Millisecond)), nil
+}
+
 // MaxWindowUnderSLA returns the largest flush window that keeps the
 // worst-case admitted latency within the budget, or an error when no window
-// does (the backlog and batch size alone exceed the budget).
+// does (the backlog and batch size alone exceed the budget). Like
+// ValidateSLA it uses the cache-cold service time.
 func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) {
-	rep, err := s.timing(s.opts.MaxBatch)
+	rep, err := s.coldTiming(s.opts.MaxBatch)
 	if err != nil {
 		return 0, err
 	}

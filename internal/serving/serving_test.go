@@ -311,3 +311,150 @@ func TestValidateSLA(t *testing.T) {
 		t.Error("impossible budget accepted")
 	}
 }
+
+// testEngineWithCache builds the test engine with a live hot-row cache.
+func testEngineWithCache(t testing.TB, capacity int64) *core.Engine {
+	t.Helper()
+	spec := model.SmallProduction()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: 1, MaxRowsPerTable: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SmallFP16()
+	cfg.HotCacheBytes = capacity
+	plan, err := placement.Plan(spec, memsim.U280(cfg.OnChipBanks), placement.Options{EnableCartesian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(params, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestStatsHotCache checks the serving stats surface the live cache: absent
+// without one, populated (with a warming hit rate and an effective lookup
+// latency below the cold one) when attached.
+func TestStatsHotCache(t *testing.T) {
+	plain := newServer(t, testEngine(t), Options{MaxBatch: 8, Window: 50 * time.Microsecond})
+	if st := plain.Stats(); st.HotCache != nil {
+		t.Error("stats report a hot cache on an engine without one")
+	}
+
+	eng := testEngineWithCache(t, 1<<18)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: 50 * time.Microsecond, Workers: 2})
+	qs := randomQueries(t, eng.Spec(), 16, 3)
+	ctx := context.Background()
+	for rep := 0; rep < 4; rep++ {
+		var wg sync.WaitGroup
+		for _, q := range qs {
+			wg.Add(1)
+			go func(q embedding.Query) {
+				defer wg.Done()
+				if _, err := srv.Submit(ctx, q); err != nil {
+					t.Errorf("submit: %v", err)
+				}
+			}(q)
+		}
+		wg.Wait()
+	}
+	st := srv.Stats()
+	if st.HotCache == nil {
+		t.Fatal("stats missing hot cache section")
+	}
+	hc := st.HotCache
+	if hc.CapacityBytes != 1<<18 {
+		t.Errorf("capacity %d, want %d", hc.CapacityBytes, 1<<18)
+	}
+	if hc.Hits+hc.Misses == 0 {
+		t.Error("cache saw no traffic")
+	}
+	if hc.Hits == 0 {
+		t.Error("repeated queries should produce hits")
+	}
+	if hc.EffectiveLookupNS >= hc.ColdLookupNS {
+		t.Errorf("warm cache: effective %v should beat cold %v", hc.EffectiveLookupNS, hc.ColdLookupNS)
+	}
+}
+
+// TestAdmittedLatencyBounds checks the cold/expected pair: without a cache
+// the bounds coincide; with a warm cache the expected latency is no worse
+// than the cold worst case, and the worst case is what ValidateSLA enforces.
+func TestAdmittedLatencyBounds(t *testing.T) {
+	srv := newServer(t, testEngine(t), Options{MaxBatch: 8, Window: 100 * time.Microsecond})
+	worst, expected, err := srv.AdmittedLatencyBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != expected {
+		t.Errorf("no cache: worst %v != expected %v", worst, expected)
+	}
+	if worst <= 0 {
+		t.Errorf("worst-case bound %v should be positive", worst)
+	}
+
+	eng := testEngineWithCache(t, 1<<18)
+	csrv := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond})
+	ctx := context.Background()
+	qs := randomQueries(t, eng.Spec(), 8, 9)
+	for rep := 0; rep < 3; rep++ {
+		for _, q := range qs {
+			if _, err := csrv.Submit(ctx, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cworst, cexpected, err := csrv.AdmittedLatencyBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cexpected > cworst {
+		t.Errorf("expected %v exceeds cache-cold worst case %v", cexpected, cworst)
+	}
+}
+
+// TestServeHotCacheRace drives a cache-fronted server with many concurrent
+// submitters while polling Stats — the shared live cache under the worker
+// pool, the scenario the -race CI job pins down.
+func TestServeHotCacheRace(t *testing.T) {
+	eng := testEngineWithCache(t, 1<<16)
+	srv := newServer(t, eng, Options{MaxBatch: 16, Window: 100 * time.Microsecond, Workers: 4})
+	ctx := context.Background()
+	qs := randomQueries(t, eng.Spec(), 64, 21)
+	want := make([]float32, len(qs))
+	for i, q := range qs {
+		res, err := srv.Submit(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.CTR
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				qi := (w*31 + i) % len(qs)
+				res, err := srv.Submit(ctx, qs[qi])
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if res.CTR != want[qi] {
+					t.Errorf("query %d: CTR %v, want %v", qi, res.CTR, want[qi])
+					return
+				}
+				if i%10 == 0 {
+					_ = srv.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.HotCache == nil || st.HotCache.Hits == 0 {
+		t.Error("expected cache hits under repeated concurrent traffic")
+	}
+}

@@ -194,6 +194,17 @@ func WorstCaseAdmittedLatencyMS(windowMS, serviceMS float64, queuedBatches, work
 	return windowMS + (drain+1)*serviceMS
 }
 
+// AdmittedLatencyBoundsMS returns the pair of admitted-latency figures a
+// cache-fronted server reports: the worst case computed from the cache-cold
+// full-batch service time (the bound admission control must enforce — a
+// hot-row cache improves the expectation, never the bound, since it can be
+// cold at startup or after invalidation) and the expected latency at the
+// currently observed warm service time. Without a cache the two coincide.
+func AdmittedLatencyBoundsMS(windowMS, coldServiceMS, warmServiceMS float64, queuedBatches, workers int) (worstMS, expectedMS float64) {
+	return WorstCaseAdmittedLatencyMS(windowMS, coldServiceMS, queuedBatches, workers),
+		WorstCaseAdmittedLatencyMS(windowMS, warmServiceMS, queuedBatches, workers)
+}
+
 // ValidateAdmittedWindow checks a batching window against a tail-latency
 // budget including admission backlog (see WorstCaseAdmittedLatencyMS).
 func ValidateAdmittedWindow(windowMS, serviceMS, budgetMS float64, queuedBatches, workers int) error {

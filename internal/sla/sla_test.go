@@ -261,3 +261,22 @@ func TestValidateAdmittedWindow(t *testing.T) {
 		}
 	}
 }
+
+func TestAdmittedLatencyBoundsMS(t *testing.T) {
+	// Equal cold/warm service: bounds coincide (the no-cache case).
+	worst, expected := AdmittedLatencyBoundsMS(1, 5, 5, 2, 1)
+	if worst != expected {
+		t.Errorf("equal service: worst %v != expected %v", worst, expected)
+	}
+	if want := WorstCaseAdmittedLatencyMS(1, 5, 2, 1); worst != want {
+		t.Errorf("worst %v, want %v", worst, want)
+	}
+	// A warm cache shrinks the expectation, never the bound.
+	worst, expected = AdmittedLatencyBoundsMS(1, 5, 3, 2, 1)
+	if expected >= worst {
+		t.Errorf("warm service 3 vs cold 5: expected %v should beat worst %v", expected, worst)
+	}
+	if want := WorstCaseAdmittedLatencyMS(1, 3, 2, 1); expected != want {
+		t.Errorf("expected %v, want %v", expected, want)
+	}
+}

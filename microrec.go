@@ -94,8 +94,11 @@ type (
 	// latency.
 	ServeResult = serving.Result
 	// ServerStats is a rolling snapshot of serving statistics (latency
-	// percentiles, QPS, batch occupancy).
+	// percentiles, QPS, batch occupancy, hot-row cache behaviour).
 	ServerStats = serving.Stats
+	// HotCacheInfo is a snapshot of an engine's live hot-row cache
+	// (Engine.HotCache).
+	HotCacheInfo = core.HotCacheInfo
 )
 
 // ErrServerClosed is returned by Server.Submit after Server.Close.
@@ -152,6 +155,11 @@ type EngineOptions struct {
 	// UseLPTAllocator swaps the paper-faithful round-robin DRAM
 	// allocation for the cost-balancing LPT strategy.
 	UseLPTAllocator bool
+	// HotCacheBytes, when positive, attaches a live hot-row cache of the
+	// given byte capacity to the engine's gather datapath. The cache never
+	// changes predictions; its hit rate scales the modeled embedding-lookup
+	// latency (Engine.EffectiveLookupNS, surfaced in /stats).
+	HotCacheBytes int64
 }
 
 // NewEngine materialises parameters, runs the placement search and builds a
@@ -191,6 +199,7 @@ func prepareWithParams(params *Parameters, opts EngineOptions) (*Parameters, *Pl
 		prec = Fixed16
 	}
 	cfg := core.ConfigFor(params.Spec.Name, prec)
+	cfg.HotCacheBytes = opts.HotCacheBytes
 	alloc := placement.RoundRobin
 	if opts.UseLPTAllocator {
 		alloc = placement.LPT
