@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke ci
+.PHONY: build test race bench bench-json bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,15 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# bench-json measures serving ns/query at batch 1/16/64 (pipelined drain)
+# and writes BENCH_serve.json, so the perf trajectory is tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/microrec bench -o BENCH_serve.json
+
 # bench-smoke runs the datapath/serving benchmarks once each — a fast check
 # that the hot paths still execute, used by CI.
 bench-smoke:
-	$(GO) test -run xxx -bench 'Gather|Serve|EngineInferOne' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'Gather|Serve|EngineInferOne|Pipeline' -benchtime 1x -benchmem .
 
 # ci is the one-command tier-1 + race check.
 ci: build test race bench-smoke

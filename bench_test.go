@@ -289,19 +289,43 @@ func BenchmarkServeUnbatched(b *testing.B) {
 }
 
 // BenchmarkServeBatched measures the micro-batching server under concurrent
-// submitters at batch 64: weight blocks stream from memory once per batch
-// instead of once per query, and the timing model runs once per batch. A
-// single worker keeps the pair an apples-to-apples batching comparison (the
-// unbatched baseline is one synchronous request stream, so extra workers
-// would conflate parallelism with batching). Reports ns/query (ns/op) and
-// queries/s.
+// submitters at batch 64 on the flat worker-pool drain — the PR 2 baseline
+// the pipelined drain is compared against. Weight blocks stream from memory
+// once per batch instead of once per query, and the timing model runs once
+// per batch. A single worker keeps the pair an apples-to-apples batching
+// comparison (the unbatched baseline is one synchronous request stream, so
+// extra workers would conflate parallelism with batching). Reports ns/query
+// (ns/op) and queries/s.
 func BenchmarkServeBatched(b *testing.B) {
-	eng, qs := serveBenchSetup(b)
-	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
-		MaxBatch: 64,
-		Window:   200 * time.Microsecond,
-		Workers:  1,
+	benchServeDrain(b, microrec.ServerOptions{
+		MaxBatch:   64,
+		Window:     200 * time.Microsecond,
+		Workers:    1,
+		WorkerPool: true,
 	})
+}
+
+// BenchmarkServePipelined measures the staged pipeline drain at batch 64:
+// the micro-batcher feeds a ring of batch planes whose gather, dense-GEMM
+// and tail stages run on separate goroutines, so batch i+1's channel-
+// parallel gather overlaps batch i's GEMM. Besides ns/query (ns/op) and
+// queries/s it reports the executor's measured steady-state batch interval
+// next to pipesim's prediction for the same measured stage times and the
+// serial (un-overlapped) sum — interval-us below serial-us is the gather/
+// GEMM overlap at work (on multi-core hosts; a single-core runner
+// interleaves rather than overlaps the stages).
+func BenchmarkServePipelined(b *testing.B) {
+	benchServeDrain(b, microrec.ServerOptions{
+		MaxBatch:      64,
+		Window:        200 * time.Microsecond,
+		PipelineDepth: 3,
+	})
+}
+
+// benchServeDrain is the shared harness of the two drain benchmarks.
+func benchServeDrain(b *testing.B, opts microrec.ServerOptions) {
+	eng, qs := serveBenchSetup(b)
+	srv, err := microrec.NewServer(eng, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -323,4 +347,9 @@ func BenchmarkServeBatched(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	st := srv.Stats()
 	b.ReportMetric(st.MeanBatch, "mean-batch")
+	if st.Pipeline != nil {
+		b.ReportMetric(st.Pipeline.MeasuredIntervalUS, "interval-us")
+		b.ReportMetric(st.Pipeline.PredictedIntervalUS, "sim-interval-us")
+		b.ReportMetric(st.Pipeline.SerialIntervalUS, "serial-us")
+	}
 }

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"microrec"
+)
+
+// benchResult is one batch size's measured serving performance.
+type benchResult struct {
+	Batch         int     `json:"batch"`
+	NSPerQuery    float64 `json:"ns_per_query"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	MeanBatch     float64 `json:"mean_batch"`
+	// MeasuredIntervalUS / PredictedIntervalUS report the pipelined drain's
+	// steady-state batch interval (measured vs pipesim; 0 in worker-pool
+	// mode or when too few batches completed).
+	MeasuredIntervalUS  float64 `json:"measured_interval_us,omitempty"`
+	PredictedIntervalUS float64 `json:"predicted_interval_us,omitempty"`
+}
+
+// benchReport is the JSON document `microrec bench` emits (BENCH_serve.json
+// via `make bench-json`), tracking the serving perf trajectory across PRs.
+type benchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Model      string        `json:"model"`
+	Mode       string        `json:"mode"`
+	Queries    int           `json:"queries_per_batch_size"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Results    []benchResult `json:"results"`
+}
+
+// parseBatchList parses a comma-separated batch-size list ("1,16,64").
+func parseBatchList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bench: bad batch size %q in -batches", p)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// benchServe drives n queries through a fresh server at one batch size and
+// measures wall-clock ns/query from concurrent submitters (the same shape as
+// BenchmarkServeBatched/Pipelined, minus the testing harness).
+func benchServe(eng *microrec.Engine, qs []microrec.Query, batch, n int, opts microrec.ServerOptions) (benchResult, error) {
+	opts.MaxBatch = batch
+	srv, err := microrec.NewServer(eng, opts)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer srv.Close()
+	benchCtx := context.Background()
+
+	submitters := 4 * batch
+	if submitters > 128 {
+		submitters = 128
+	}
+	if submitters > n {
+		submitters = n
+	}
+	run := func(total int) error {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		// Distribute the remainder so exactly `total` queries are timed
+		// regardless of the submitter count.
+		base, extra := total/submitters, total%submitters
+		for g := 0; g < submitters; g++ {
+			per := base
+			if g < extra {
+				per++
+			}
+			wg.Add(1)
+			go func(g, per int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := srv.Submit(benchCtx, qs[(g*base+i)%len(qs)]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(g, per)
+		}
+		wg.Wait()
+		return firstErr
+	}
+	// Warm the planes, caches and timing memo before the measured run.
+	if err := run(n / 4); err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	if err := run(n); err != nil {
+		return benchResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	st := srv.Stats()
+	res := benchResult{
+		Batch:         batch,
+		NSPerQuery:    float64(elapsed.Nanoseconds()) / float64(n),
+		QueriesPerSec: float64(n) / elapsed.Seconds(),
+		MeanBatch:     st.MeanBatch,
+	}
+	if st.Pipeline != nil {
+		res.MeasuredIntervalUS = st.Pipeline.MeasuredIntervalUS
+		res.PredictedIntervalUS = st.Pipeline.PredictedIntervalUS
+	}
+	return res, nil
+}
+
+func cmdBench(args []string) error {
+	fs := newFlagSet("bench")
+	modelName := fs.String("model", "small", "model: small or large")
+	out := fs.String("o", "BENCH_serve.json", "output JSON path (- for stdout only)")
+	n := fs.Int("n", 4096, "queries per batch size")
+	batches := fs.String("batches", "1,16,64", "comma-separated micro-batch sizes")
+	workerPool := fs.Bool("worker-pool", false, "bench the worker-pool drain instead of the staged pipeline")
+	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 4 {
+		return fmt.Errorf("bench: -n must be >= 4 (got %d)", *n)
+	}
+	sizes, err := parseBatchList(*batches)
+	if err != nil {
+		return err
+	}
+	spec, _, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096})
+	if err != nil {
+		return err
+	}
+	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 11)
+	if err != nil {
+		return err
+	}
+	qs := make([]microrec.Query, 512)
+	for i := range qs {
+		qs[i] = gen.Next()
+	}
+
+	rep := benchReport{
+		Benchmark:  "serve",
+		Model:      spec.Name,
+		Mode:       "pipeline",
+		Queries:    *n,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	opts := microrec.ServerOptions{
+		Window:        200 * time.Microsecond,
+		WorkerPool:    *workerPool,
+		PipelineDepth: *pipelineDepth,
+	}
+	if *workerPool {
+		rep.Mode = "worker-pool"
+	}
+	for _, b := range sizes {
+		res, err := benchServe(eng, qs, b, *n, opts)
+		if err != nil {
+			return fmt.Errorf("bench: batch %d: %w", b, err)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("batch %3d: %10.0f ns/query  %9.0f queries/s  (mean batch %.1f)\n",
+			b, res.NSPerQuery, res.QueriesPerSec, res.MeanBatch)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	microrec plan -model small|large [...]        run the placement search
 //	microrec infer -model small -n 16 [...]       run the engine on queries
 //	microrec serve -addr :8080 -model small       HTTP inference server
+//	microrec bench -o BENCH_serve.json            serving perf per batch size
 //	microrec list                                 list available experiments
 package main
 
@@ -42,6 +43,8 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "bench":
+		return cmdBench(args[1:])
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -61,6 +64,7 @@ commands:
   plan             run the table-combination + allocation search
   infer            run the accelerator engine on synthetic queries
   serve            start an HTTP inference server
+  bench            measure serving ns/query per batch size, emit JSON
   trace            export a chrome://tracing pipeline trace
   spec             print a model specification
   list             list available experiments

@@ -345,3 +345,154 @@ func TestServeFlagValidationHotCache(t *testing.T) {
 		t.Error("negative -hotcache: want error")
 	}
 }
+
+// TestServeFlagValidation drives cmdServe's flag rejection paths, including
+// the pipelined-drain flags: depth below 2 without the worker-pool fallback,
+// and nonsense numeric flags.
+func TestServeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero batch", []string{"serve", "-batch", "0"}},
+		{"zero window", []string{"serve", "-window", "0s"}},
+		{"zero workers", []string{"serve", "-workers", "0"}},
+		{"pipeline depth 1", []string{"serve", "-pipeline-depth", "1"}},
+		{"pipeline depth 0", []string{"serve", "-pipeline-depth", "0"}},
+		{"negative hotcache", []string{"serve", "-hotcache", "-1"}},
+		{"unknown model", []string{"serve", "-model", "bogus"}},
+		{"unparseable flag", []string{"serve", "-batch", "many"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Errorf("%v: want error", tc.args)
+			}
+		})
+	}
+}
+
+// TestServeMuxPipelineOptions builds the serving stack exactly as cmdServe
+// does for the accepted flag combinations — the default pipelined drain with
+// an explicit -pipeline-depth, and -worker-pool with -pipeline-depth 1
+// (ignored in that mode) — and checks /stats reflects the drain mode.
+func TestServeMuxPipelineOptions(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{
+		MaxBatch: 4, Window: 200 * time.Microsecond, PipelineDepth: 4,
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st microrec.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "pipeline" || st.Pipeline == nil || st.Pipeline.Depth != 4 {
+		t.Errorf("pipelined /stats = %+v", st)
+	}
+
+	mux, _ = testMux(t, microrec.ServerOptions{
+		MaxBatch: 4, Window: 200 * time.Microsecond, Workers: 1,
+		WorkerPool: true, PipelineDepth: 1,
+	})
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	st = microrec.ServerStats{} // absent keys leave stale fields on reuse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "worker-pool" || st.Pipeline != nil {
+		t.Errorf("worker-pool /stats = %+v", st)
+	}
+}
+
+// TestServeMuxStatsPipelineSection checks the JSON wire shape of the /stats
+// pipeline block after a burst of pipelined /predict traffic.
+func TestServeMuxStatsPipelineSection(t *testing.T) {
+	mux, _ := testMux(t, microrec.ServerOptions{MaxBatch: 8, Window: 300 * time.Microsecond})
+	gen, err := microrec.NewGenerator(microrec.SmallProductionModel(), microrec.Zipf, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		body, err := json.Marshal(predictRequest{Indices: gen.Next()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(body)))
+			if rec.Code != 200 {
+				t.Errorf("/predict = %d: %s", rec.Code, rec.Body.String())
+			}
+		}(string(body))
+	}
+	wg.Wait()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	pipe, ok := raw["pipeline"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing pipeline section: %v", raw)
+	}
+	for _, key := range []string{"depth", "in_flight", "completed", "stages", "measured_interval_us", "predicted_interval_us", "serial_interval_us"} {
+		if _, ok := pipe[key]; !ok {
+			t.Errorf("/stats pipeline missing %q: %v", key, pipe)
+		}
+	}
+	stages, ok := pipe["stages"].([]any)
+	if !ok || len(stages) != 3 {
+		t.Fatalf("pipeline stages = %v", pipe["stages"])
+	}
+	first, ok := stages[0].(map[string]any)
+	if !ok || first["name"] != "gather" {
+		t.Errorf("first stage = %v, want gather", stages[0])
+	}
+}
+
+// TestCmdBench runs the bench subcommand at a tiny scale and checks the
+// emitted JSON document's shape and values.
+func TestCmdBench(t *testing.T) {
+	out := t.TempDir() + "/bench.json"
+	if err := run([]string{"bench", "-n", "64", "-batches", "1,4", "-o", out}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench output is not JSON: %v", err)
+	}
+	if rep.Benchmark != "serve" || rep.Model != "production-small" || rep.Mode != "pipeline" {
+		t.Errorf("report header = %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	for i, want := range []int{1, 4} {
+		r := rep.Results[i]
+		if r.Batch != want || r.NSPerQuery <= 0 || r.QueriesPerSec <= 0 {
+			t.Errorf("result %d = %+v", i, r)
+		}
+	}
+
+	// Flag rejection paths.
+	for _, bad := range [][]string{
+		{"bench", "-n", "2"},
+		{"bench", "-batches", "1,zero"},
+		{"bench", "-batches", "0"},
+		{"bench", "-model", "bogus"},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("%v: want error", bad)
+		}
+	}
+}

@@ -111,7 +111,9 @@ func cmdServe(args []string) error {
 	fp32 := fs.Bool("fp32", false, "use the 32-bit datapath")
 	batch := fs.Int("batch", 64, "max micro-batch size")
 	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size (worker-pool fallback mode only)")
+	pipelineDepth := fs.Int("pipeline-depth", 3, "batch planes in the pipelined drain's in-flight ring (>= 2); per-stage occupancy appears in /stats")
+	workerPool := fs.Bool("worker-pool", false, "drain batches on the flat engine worker pool instead of the staged gather/GEMM pipeline")
 	slaBudget := fs.Duration("sla", 0, "tail-latency budget to validate the window against (0 = skip)")
 	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off); hit rate and effective lookup latency appear in /stats")
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +129,9 @@ func cmdServe(args []string) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("serve: -workers must be >= 1 (got %d)", *workers)
+	}
+	if !*workerPool && *pipelineDepth < 2 {
+		return fmt.Errorf("serve: -pipeline-depth must be >= 2 (got %d); stage overlap needs two planes, or select -worker-pool", *pipelineDepth)
 	}
 	if *hotCache < 0 {
 		return fmt.Errorf("serve: -hotcache must be >= 0 bytes (got %d)", *hotCache)
@@ -144,9 +149,11 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
-		MaxBatch: *batch,
-		Window:   *window,
-		Workers:  *workers,
+		MaxBatch:      *batch,
+		Window:        *window,
+		Workers:       *workers,
+		WorkerPool:    *workerPool,
+		PipelineDepth: *pipelineDepth,
 	})
 	if err != nil {
 		return err
@@ -171,7 +178,11 @@ func cmdServe(args []string) error {
 	if *hotCache > 0 {
 		cacheNote = fmt.Sprintf(", hot-row cache %d B", *hotCache)
 	}
-	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %d workers%s — POST /predict, GET /model, GET /stats, GET /healthz",
-		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, *workers, cacheNote)
+	drainNote := fmt.Sprintf("pipelined drain, %d planes", *pipelineDepth)
+	if *workerPool {
+		drainNote = fmt.Sprintf("worker pool, %d workers", *workers)
+	}
+	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %s%s — POST /predict, GET /model, GET /stats, GET /healthz",
+		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, drainNote, cacheNote)
 	return http.ListenAndServe(*addr, newServeMux(eng, srv))
 }

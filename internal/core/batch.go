@@ -41,6 +41,11 @@ func (s *BatchScratch) ensure(e *Engine, b int) {
 	s.y = s.y[:n]
 }
 
+// EnsurePlane sizes a scratch to hold batches of up to b queries, so later
+// stage calls on it never allocate. The staged pipeline executor uses this to
+// pre-allocate its ring of batch planes at construction.
+func (e *Engine) EnsurePlane(s *BatchScratch, b int) { s.ensure(e, b) }
+
 // ValidateQuery checks a query's shape and index ranges against the model
 // without running inference, so servers can reject a malformed query at
 // admission. The validated hot paths (InferBatchValidated, the gather loop)
@@ -100,8 +105,10 @@ func (e *Engine) InferBatchValidated(queries []embedding.Query, dst []float32, s
 	return e.inferBatchValidated(queries, dst, scratch)
 }
 
-// inferBatchValidated is the validated hot path: batched gather straight into
-// the fixed-point plane, then the blocked GEMM tower.
+// inferBatchValidated is the validated hot path, composed of the three stage
+// entry points the pipelined executor also drives (gather plane → hidden GEMM
+// tower → output tail). Running them back-to-back here IS the monolithic
+// datapath, so the pipelined path is bit-identical by construction.
 func (e *Engine) inferBatchValidated(queries []embedding.Query, dst []float32, scratch *BatchScratch) ([]float32, error) {
 	b := len(queries)
 	if dst == nil {
@@ -113,37 +120,67 @@ func (e *Engine) inferBatchValidated(queries []embedding.Query, dst []float32, s
 		scratch = &BatchScratch{}
 	}
 	scratch.ensure(e, b)
+	e.GatherIntoPlane(queries, scratch)
+	e.DenseFromPlane(b, scratch)
+	e.TailFromPlane(b, scratch, dst)
+	return dst, nil
+}
+
+// GatherIntoPlane is the pipeline's first stage: the batched table-major
+// gather, quantizing each embedding vector directly into the plane's feature
+// rows (no intermediate float plane). Queries must have passed ValidateQuery
+// and the plane must be sized (EnsurePlane or a prior stage run) for at least
+// len(queries); the call then performs no validation and no allocation beyond
+// the sharded gather's goroutine fan-out.
+func (e *Engine) GatherIntoPlane(queries []embedding.Query, s *BatchScratch) {
+	e.gatherBatchValidated(queries, s)
+}
+
+// DenseFromPlane is the pipeline's second stage: the hidden FC tower as
+// blocked GEMMs over a gathered plane, ping-ponging the plane's x and y
+// buffers (bias add + ReLU per hidden layer). It touches only the plane, so
+// distinct planes can occupy the gather and GEMM stages concurrently.
+func (e *Engine) DenseFromPlane(b int, s *BatchScratch) {
 	f := e.cfg.Precision
-
-	// Stage 1: batched table-major gather, quantizing each embedding vector
-	// directly into scratch.x's feature rows (no intermediate float plane).
-	e.gatherBatchValidated(queries, scratch)
-
-	// Stage 2: the FC tower as blocked GEMMs, ping-ponging x and y.
 	width := e.width
-	x, y := scratch.x, scratch.y
-	for l, d := range e.dims {
-		in, out := d[0], d[1]
+	x, y := s.x, s.y
+	for l := 0; l < len(e.dims)-1; l++ {
+		in, out := e.dims[l][0], e.dims[l][1]
 		gemmBatch(x, y, b, in, out, width, e.qweightsT[l])
 		bias := e.qbiases[l]
-		last := l == len(e.dims)-1
 		for qi := 0; qi < b; qi++ {
 			yrow := y[qi*width : qi*width+out]
 			for j := range yrow {
 				yrow[j] = f.Add(f.Finish(yrow[j]), bias[j])
 			}
-			if !last {
-				fixedpoint.ReLU(yrow)
-			}
+			fixedpoint.ReLU(yrow)
 		}
 		x, y = y, x
 	}
-	// After the swap, x holds the final layer's output (one logit per query).
-	for qi := 0; qi < b; qi++ {
-		logit := x[qi*width]
-		dst[qi] = float32(f.Dequantize(f.Sigmoid(logit)))
+}
+
+// TailFromPlane is the pipeline's final stage: the output FC layer (bias, no
+// ReLU) plus the sigmoid, dequantizing one prediction per query into dst.
+// The hidden tower left its activations in x or y depending on layer parity;
+// the same swap cadence recovers the right buffer.
+func (e *Engine) TailFromPlane(b int, s *BatchScratch, dst []float32) {
+	f := e.cfg.Precision
+	width := e.width
+	l := len(e.dims) - 1
+	x, y := s.x, s.y
+	if l%2 == 1 {
+		x, y = y, x
 	}
-	return dst, nil
+	in, out := e.dims[l][0], e.dims[l][1]
+	gemmBatch(x, y, b, in, out, width, e.qweightsT[l])
+	bias := e.qbiases[l]
+	for qi := 0; qi < b; qi++ {
+		yrow := y[qi*width : qi*width+out]
+		for j := range yrow {
+			yrow[j] = f.Add(f.Finish(yrow[j]), bias[j])
+		}
+		dst[qi] = float32(f.Dequantize(f.Sigmoid(yrow[0])))
+	}
 }
 
 // gemmBatch computes Y = X * W for a batch of b activation rows. X and Y are

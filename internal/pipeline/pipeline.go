@@ -1,0 +1,434 @@
+// Package pipeline implements the pipelined execution subsystem: the
+// software analogue of the paper's deeply pipelined dataflow (§4.1), in which
+// embedding lookups and DNN compute for different items are in flight
+// simultaneously so memory latency hides behind compute — the source of the
+// "throughput is not the reciprocal of latency" observation (§5.3).
+//
+// The executor decouples the batched datapath into three stages — the
+// channel-parallel gather, the hidden-layer GEMM tower, and the output
+// tail/response — connected by bounded channels, over a ring of N
+// pre-allocated fixed-point batch planes:
+//
+//	Submit ─► free ring ─► [gather] ─► [dense GEMM] ─► [tail ► Deliver] ─┐
+//	             ▲                                                       │
+//	             └────────────────── plane recycled ◄────────────────────┘
+//
+// While batch i occupies the GEMM stage, batch i+1's gather is already
+// running on the next plane. The ring bounds the batches in flight, so
+// backpressure propagates from a slow stage back to Submit exactly as in
+// pipesim's marked-graph model: a ring of N planes is N tokens circulating
+// through the stage graph. The steady-state initiation interval is therefore
+// the slowest stage's service time, not the sum of all stages — Snapshot
+// cross-feeds the measured per-stage times into pipesim to report the
+// predicted interval next to the measured one, closing the loop between the
+// simulator and the real executor.
+//
+// Stage methods are driven through the StageEngine seam (implemented by
+// *core.Engine); planes are core.BatchScratch buffers pre-sized at
+// construction, so the steady-state stage loops perform no allocation.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/metrics"
+	"microrec/internal/pipesim"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pipeline: executor closed")
+
+// StageEngine is the slice of the inference engine the executor drives: the
+// three stage-callable pieces of the batched datapath plus plane sizing.
+// *core.Engine implements it; tests substitute deterministic fakes to
+// cross-check the executor's measured interval against pipesim.
+type StageEngine interface {
+	// EnsurePlane sizes a plane for batches of up to b queries.
+	EnsurePlane(s *core.BatchScratch, b int)
+	// GatherIntoPlane resolves a validated micro-batch's embedding lookups
+	// into the plane's fixed-point feature rows.
+	GatherIntoPlane(queries []embedding.Query, s *core.BatchScratch)
+	// DenseFromPlane runs the hidden FC tower on a gathered plane.
+	DenseFromPlane(b int, s *core.BatchScratch)
+	// TailFromPlane runs the output layer + sigmoid, writing one prediction
+	// per query into dst.
+	TailFromPlane(b int, s *core.BatchScratch, dst []float32)
+}
+
+// Deliver receives a completed batch on the tail stage's goroutine: the
+// payload passed to Submit and the predictions, one per submitted query.
+// preds is plane-owned and only valid until Deliver returns — consume it
+// (resolve futures, copy) before returning.
+type Deliver func(payload interface{}, preds []float32)
+
+// Options configures an Executor.
+type Options struct {
+	// Depth is the number of planes in the ring — the bound on batches in
+	// flight across the three stages. Default 3 (one plane per stage);
+	// minimum 2 (below that no two stages can overlap).
+	Depth int
+	// MaxBatch is the plane capacity: the largest batch Submit accepts.
+	// Default 64.
+	MaxBatch int
+	// Deliver receives every completed batch. Required.
+	Deliver Deliver
+	// StatsWindow is the number of recent batches retained for the
+	// per-stage service-time and completion-interval statistics.
+	// Default 512.
+	StatsWindow int
+}
+
+// withDefaults returns o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.Depth == 0 {
+		o.Depth = 3
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.StatsWindow == 0 {
+		o.StatsWindow = 512
+	}
+	return o
+}
+
+// Validate checks the options after defaulting.
+func (o Options) Validate() error {
+	if o.Depth < 2 {
+		return fmt.Errorf("pipeline: depth %d (need >= 2 planes to overlap stages)", o.Depth)
+	}
+	if o.MaxBatch < 1 {
+		return fmt.Errorf("pipeline: max batch %d", o.MaxBatch)
+	}
+	if o.Deliver == nil {
+		return fmt.Errorf("pipeline: nil Deliver")
+	}
+	if o.StatsWindow < 1 {
+		return fmt.Errorf("pipeline: stats window %d", o.StatsWindow)
+	}
+	return nil
+}
+
+// plane is one slot of the in-flight ring: a pre-sized fixed-point batch
+// plane plus the batch riding on it.
+type plane struct {
+	queries []embedding.Query // batch query headers, cap MaxBatch
+	preds   []float32         // predictions, cap MaxBatch
+	payload interface{}       // caller's batch handle, returned via Deliver
+	scratch core.BatchScratch
+}
+
+// stageIndex names the executor's stages.
+const (
+	stageGather = iota
+	stageDense
+	stageTail
+	numStages
+)
+
+// stageNames label the stages in snapshots, matching pipesim conventions.
+var stageNames = [numStages]string{"gather", "dense-gemm", "tail"}
+
+// stageMeter accumulates one stage's service observations.
+type stageMeter struct {
+	batches atomic.Uint64
+	busyNS  atomic.Int64
+	service *metrics.Rolling // per-batch service time, ns
+}
+
+func (m *stageMeter) record(now time.Time, d time.Duration) {
+	m.batches.Add(1)
+	m.busyNS.Add(int64(d))
+	m.service.Observe(now, float64(d))
+}
+
+// Executor runs micro-batches through the staged datapath with overlapped
+// stages. It owns three stage goroutines; callers must Close it.
+type Executor struct {
+	eng  StageEngine
+	opts Options
+
+	mu     sync.RWMutex // guards closed vs in-flight Submits
+	closed bool
+
+	free    chan *plane
+	gatherQ chan *plane
+	denseQ  chan *plane
+	tailQ   chan *plane
+	wg      sync.WaitGroup
+
+	stages [numStages]stageMeter
+	// interval tracks the gaps between consecutive batch completions while
+	// the pipeline stayed occupied — the measured initiation interval. Gaps
+	// that include idle time (no other batch in flight at the previous
+	// completion) would measure the arrival rate, not the pipeline, and are
+	// excluded.
+	interval  *metrics.Rolling
+	completed atomic.Uint64
+	lastDone  time.Time // tail goroutine only
+	lastBusy  bool      // tail goroutine only: batches remained in flight at lastDone
+	start     time.Time
+}
+
+// New builds an executor over a stage engine, pre-allocating the plane ring
+// so the steady-state loop never allocates. The returned executor owns
+// background goroutines; callers must Close it.
+func New(eng StageEngine, opts Options) (*Executor, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("pipeline: nil engine")
+	}
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Executor{
+		eng:  eng,
+		opts: opts,
+		// Stage channels hold up to Depth planes each, so a full ring never
+		// blocks a send: the only backpressure point is plane acquisition,
+		// which is exactly the marked-graph token discipline.
+		free:     make(chan *plane, opts.Depth),
+		gatherQ:  make(chan *plane, opts.Depth),
+		denseQ:   make(chan *plane, opts.Depth),
+		tailQ:    make(chan *plane, opts.Depth),
+		interval: metrics.NewRolling(opts.StatsWindow),
+		start:    time.Now(),
+	}
+	for i := range x.stages {
+		x.stages[i].service = metrics.NewRolling(opts.StatsWindow)
+	}
+	for i := 0; i < opts.Depth; i++ {
+		p := &plane{
+			queries: make([]embedding.Query, 0, opts.MaxBatch),
+			preds:   make([]float32, opts.MaxBatch),
+		}
+		eng.EnsurePlane(&p.scratch, opts.MaxBatch)
+		x.free <- p
+	}
+	x.wg.Add(numStages)
+	go x.gatherLoop()
+	go x.denseLoop()
+	go x.tailLoop()
+	return x, nil
+}
+
+// Options returns the executor's effective (defaulted) options.
+func (x *Executor) Options() Options { return x.opts }
+
+// Submit enqueues one validated micro-batch: it acquires a plane from the
+// ring (blocking while all Depth planes are in flight — the backpressure
+// bound), copies the query headers onto it and hands it to the gather stage.
+// The queries slice is not retained; callers may reuse it as soon as Submit
+// returns. payload is handed back through Deliver with the predictions.
+// Queries must have passed Engine.ValidateQuery at admission.
+func (x *Executor) Submit(queries []embedding.Query, payload interface{}) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("pipeline: empty batch")
+	}
+	if len(queries) > x.opts.MaxBatch {
+		return fmt.Errorf("pipeline: batch %d exceeds plane capacity %d", len(queries), x.opts.MaxBatch)
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.closed {
+		return ErrClosed
+	}
+	// In-flight planes complete independently of this goroutine, so the
+	// acquisition always terminates; Close waits for our read lock before
+	// closing gatherQ, so the send below never races a close.
+	p := <-x.free
+	p.queries = append(p.queries[:0], queries...)
+	p.payload = payload
+	x.gatherQ <- p
+	return nil
+}
+
+// Close stops accepting batches, drains every in-flight plane through the
+// remaining stages (delivering their responses) and joins the stage
+// goroutines. It is idempotent.
+func (x *Executor) Close() error {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return nil
+	}
+	x.closed = true
+	x.mu.Unlock()
+	close(x.gatherQ)
+	x.wg.Wait()
+	return nil
+}
+
+// gatherLoop drives stage 1: the channel-parallel batched gather into the
+// plane's fixed-point feature rows.
+func (x *Executor) gatherLoop() {
+	defer x.wg.Done()
+	defer close(x.denseQ)
+	for p := range x.gatherQ {
+		t0 := time.Now()
+		x.eng.GatherIntoPlane(p.queries, &p.scratch)
+		x.stages[stageGather].record(time.Now(), time.Since(t0))
+		x.denseQ <- p
+	}
+}
+
+// denseLoop drives stage 2: the hidden-layer blocked GEMM tower.
+func (x *Executor) denseLoop() {
+	defer x.wg.Done()
+	defer close(x.tailQ)
+	for p := range x.denseQ {
+		t0 := time.Now()
+		x.eng.DenseFromPlane(len(p.queries), &p.scratch)
+		x.stages[stageDense].record(time.Now(), time.Since(t0))
+		x.tailQ <- p
+	}
+}
+
+// tailLoop drives stage 3: the output layer + sigmoid, response delivery,
+// and plane recycling.
+func (x *Executor) tailLoop() {
+	defer x.wg.Done()
+	for p := range x.tailQ {
+		b := len(p.queries)
+		t0 := time.Now()
+		x.eng.TailFromPlane(b, &p.scratch, p.preds[:b])
+		now := time.Now()
+		x.stages[stageTail].record(now, now.Sub(t0))
+		x.opts.Deliver(p.payload, p.preds[:b])
+		if !x.lastDone.IsZero() && x.lastBusy {
+			x.interval.Observe(now, float64(now.Sub(x.lastDone)))
+		}
+		x.lastDone = now
+		// p itself still occupies the ring until recycled below, so more
+		// than one in-flight plane means the pipeline stays busy into the
+		// next completion gap.
+		x.lastBusy = x.InFlight() > 1
+		x.completed.Add(1)
+		// Drop batch references before recycling so the ring never pins a
+		// delivered batch's memory.
+		p.payload = nil
+		for i := range p.queries {
+			p.queries[i] = nil
+		}
+		p.queries = p.queries[:0]
+		x.free <- p
+	}
+}
+
+// InFlight reports how many planes are currently occupied by batches.
+func (x *Executor) InFlight() int { return x.opts.Depth - len(x.free) }
+
+// StageSnapshot is one stage's point-in-time service statistics.
+type StageSnapshot struct {
+	Name string `json:"name"`
+	// Batches is the lifetime count of batches the stage served.
+	Batches uint64 `json:"batches"`
+	// MeanServiceUS is the rolling mean per-batch service time — the
+	// stage's effective initiation interval contribution.
+	MeanServiceUS float64 `json:"mean_service_us"`
+	// P99ServiceUS is the rolling p99 per-batch service time.
+	P99ServiceUS float64 `json:"p99_service_us"`
+	// Occupancy is the fraction of recent wall time the stage spent busy
+	// (rolling batch rate x mean service time, capped at 1).
+	Occupancy float64 `json:"occupancy"`
+}
+
+// Snapshot is a point-in-time view of the executor.
+type Snapshot struct {
+	// Depth is the plane-ring size (the in-flight bound).
+	Depth int `json:"depth"`
+	// MaxBatch is the plane capacity.
+	MaxBatch int `json:"max_batch"`
+	// InFlight is the number of planes currently occupied.
+	InFlight int `json:"in_flight"`
+	// Completed is the lifetime count of delivered batches.
+	Completed uint64 `json:"completed"`
+	// Stages holds per-stage service statistics in pipeline order.
+	Stages []StageSnapshot `json:"stages"`
+	// MeasuredIntervalUS is the rolling mean gap between consecutive batch
+	// completions over spans where the pipeline stayed occupied — the
+	// measured steady-state initiation interval. Idle inter-arrival gaps
+	// are excluded, so the figure reflects pipeline capability, not load
+	// (0 until back-to-back batches have flowed).
+	MeasuredIntervalUS float64 `json:"measured_interval_us"`
+	// PredictedIntervalUS is pipesim's steady-state interval for a
+	// three-stage pipeline with the measured mean service times and this
+	// ring depth — the simulator's prediction for the executor it sits
+	// next to (0 until every stage has served a batch).
+	PredictedIntervalUS float64 `json:"predicted_interval_us"`
+	// SerialIntervalUS is the sum of the mean stage times: the interval a
+	// non-overlapped (worker-pool) execution of the same stages would
+	// sustain. Measured < Serial demonstrates stage overlap.
+	SerialIntervalUS float64 `json:"serial_interval_us"`
+}
+
+// Snapshot summarises the executor's rolling statistics and cross-feeds the
+// measured stage times into pipesim for the predicted steady-state interval.
+func (x *Executor) Snapshot() Snapshot {
+	now := time.Now()
+	snap := Snapshot{
+		Depth:     x.opts.Depth,
+		MaxBatch:  x.opts.MaxBatch,
+		InFlight:  x.InFlight(),
+		Completed: x.completed.Load(),
+		Stages:    make([]StageSnapshot, numStages),
+	}
+	meansNS := make([]float64, numStages)
+	for i := range x.stages {
+		m := &x.stages[i]
+		s := m.service.Snapshot(now)
+		occ := s.RatePerSec * s.Summary.Mean / 1e9
+		if occ > 1 {
+			occ = 1
+		}
+		snap.Stages[i] = StageSnapshot{
+			Name:          stageNames[i],
+			Batches:       m.batches.Load(),
+			MeanServiceUS: s.Summary.Mean / 1e3,
+			P99ServiceUS:  s.Summary.P99 / 1e3,
+			Occupancy:     occ,
+		}
+		meansNS[i] = s.Summary.Mean
+		snap.SerialIntervalUS += s.Summary.Mean / 1e3
+	}
+	snap.MeasuredIntervalUS = x.interval.Snapshot(now).Summary.Mean / 1e3
+	snap.PredictedIntervalUS = PredictIntervalNS(meansNS, x.opts.Depth) / 1e3
+	return snap
+}
+
+// PredictIntervalNS runs pipesim over a linear pipeline whose stages have the
+// given service times (ns; latency == initiation interval, the executor's
+// stages are not internally pipelined) and the given token-ring depth as FIFO
+// depth, returning the simulated steady-state inter-completion interval. It
+// returns 0 when any stage has no measurement yet. This is the same
+// marked-graph recurrence the accelerator timing model evaluates, applied to
+// the real executor's measured stage times.
+func PredictIntervalNS(stageNS []float64, depth int) float64 {
+	stages := make([]pipesim.Stage, len(stageNS))
+	for i, ns := range stageNS {
+		if ns <= 0 {
+			return 0
+		}
+		stages[i] = pipesim.Stage{
+			Name:       fmt.Sprintf("stage-%d", i),
+			LatencyNS:  ns,
+			IntervalNS: ns,
+			FIFODepth:  depth,
+		}
+	}
+	p, err := pipesim.New(stages...)
+	if err != nil {
+		return 0
+	}
+	res, err := p.Simulate(4 * pipesim.DefaultFIFODepth * len(stages))
+	if err != nil {
+		return 0
+	}
+	return res.SteadyIntervalNS
+}

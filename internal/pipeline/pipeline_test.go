@@ -1,0 +1,422 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/placement"
+)
+
+// buildEngine assembles a real engine for a spec (capacity-scaled).
+func buildEngine(t testing.TB, spec *model.Spec, cfg core.Config) *core.Engine {
+	t.Helper()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: 1, MaxRowsPerTable: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := placement.Plan(spec, memsim.U280(cfg.OnChipBanks), placement.Options{EnableCartesian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(params, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// randomSpec generates a small random model geometry, mirroring the core
+// property tests: varying table counts, dims, lookup cadences, dense tails
+// and tower shapes exercise the stage split across product strides, virtual
+// fallbacks, GEMM tails and hidden-tower parities.
+func randomSpec(rng *rand.Rand, name string) *model.Spec {
+	nt := 3 + rng.Intn(5)
+	tables := make([]model.TableSpec, nt)
+	for i := range tables {
+		tables[i] = model.TableSpec{
+			ID:      i,
+			Name:    fmt.Sprintf("%s-t%d", name, i),
+			Rows:    int64(8 + rng.Intn(300)),
+			Dim:     1 + rng.Intn(12),
+			Lookups: 1 + rng.Intn(3),
+		}
+	}
+	// 1-4 hidden layers: both tail parities (activations ending in x or y)
+	// must be covered.
+	nh := 1 + rng.Intn(4)
+	hidden := make([]int, nh)
+	for i := range hidden {
+		hidden[i] = 5 + rng.Intn(36)
+	}
+	return &model.Spec{
+		Name:     name,
+		Tables:   tables,
+		DenseDim: rng.Intn(7),
+		Hidden:   hidden,
+	}
+}
+
+func randomQueries(spec *model.Spec, n int, seed int64) []embedding.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]embedding.Query, n)
+	for i := range qs {
+		q := make(embedding.Query, len(spec.Tables))
+		for ti, tab := range spec.Tables {
+			idxs := make([]int64, tab.Lookups)
+			for k := range idxs {
+				idxs[k] = rng.Int63n(tab.Rows)
+			}
+			q[ti] = idxs
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// collector is a Deliver sink that copies predictions out of the plane and
+// signals completion.
+type collector struct {
+	mu    sync.Mutex
+	preds map[int][]float32
+	done  chan int
+}
+
+func newCollector(buf int) *collector {
+	return &collector{preds: make(map[int][]float32), done: make(chan int, buf)}
+}
+
+func (c *collector) deliver(payload interface{}, preds []float32) {
+	id := *(payload.(*int))
+	c.mu.Lock()
+	c.preds[id] = append([]float32(nil), preds...)
+	c.mu.Unlock()
+	c.done <- id
+}
+
+// TestOptionsValidate covers defaulting and rejection.
+func TestOptionsValidate(t *testing.T) {
+	o := Options{Deliver: func(interface{}, []float32) {}}.withDefaults()
+	if o.Depth != 3 || o.MaxBatch != 64 || o.StatsWindow != 512 {
+		t.Errorf("defaults = %+v", o)
+	}
+	for _, bad := range []Options{
+		{Depth: 1, Deliver: func(interface{}, []float32) {}},
+		{Depth: -1, Deliver: func(interface{}, []float32) {}},
+		{MaxBatch: -1, Deliver: func(interface{}, []float32) {}},
+		{StatsWindow: -1, Deliver: func(interface{}, []float32) {}},
+		{}, // nil Deliver
+	} {
+		if err := bad.withDefaults().Validate(); err == nil {
+			t.Errorf("options %+v: want error", bad)
+		}
+	}
+	if _, err := New(nil, Options{Deliver: func(interface{}, []float32) {}}); err == nil {
+		t.Error("nil engine: want error")
+	}
+}
+
+// TestExecutorBitIdentityRandomSpecs is the pipelined path's bit-identity
+// property test: across random model geometries (both tail parities), batch
+// sizes and ring depths, the staged executor's predictions are identical to
+// the monolithic Engine.InferBatch.
+func TestExecutorBitIdentityRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomSpec(rng, fmt.Sprintf("pipe-%d", trial))
+		cfg := core.ConfigFor(spec.Name, core.SmallFP16().Precision)
+		if trial%2 == 1 {
+			cfg.Precision = core.SmallFP32().Precision
+		}
+		eng := buildEngine(t, spec, cfg)
+		col := newCollector(64)
+		x, err := New(eng, Options{Depth: 2 + trial%3, MaxBatch: 64, Deliver: col.deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]*int, 0, 16)
+		want := make(map[int][]float32)
+		next := 0
+		for _, b := range []int{1, 2, 7, 16, 33, 64} {
+			qs := randomQueries(spec, b, int64(trial*1000+b))
+			ref, err := eng.InferBatch(qs, nil, nil)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, b, err)
+			}
+			id := next
+			next++
+			want[id] = ref
+			idp := new(int)
+			*idp = id
+			ids = append(ids, idp)
+			if err := x.Submit(qs, idp); err != nil {
+				t.Fatalf("%s b=%d: submit: %v", spec.Name, b, err)
+			}
+		}
+		for range ids {
+			<-col.done
+		}
+		if err := x.Close(); err != nil {
+			t.Fatal(err)
+		}
+		col.mu.Lock()
+		for id, ref := range want {
+			got := col.preds[id]
+			if len(got) != len(ref) {
+				t.Fatalf("%s batch %d: %d predictions, want %d", spec.Name, id, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s batch %d query %d: pipelined %v, monolithic %v",
+						spec.Name, id, i, got[i], ref[i])
+				}
+			}
+		}
+		col.mu.Unlock()
+	}
+}
+
+// TestExecutorSteadyStateAllocs pins the zero-allocation contract of the
+// pipeline loop: with the ring pre-allocated and a pointer-shaped payload, a
+// full Submit → gather → GEMM → tail → Deliver → recycle round trip
+// allocates nothing. The batch stays below the sharded gather's parallel
+// threshold so the gather stage takes its strictly allocation-free inline
+// path (the fan-out goroutines are the one amortised exception, covered by
+// the core gather tests).
+func TestExecutorSteadyStateAllocs(t *testing.T) {
+	eng := buildEngine(t, model.SmallProduction(), core.SmallFP16())
+	done := make(chan struct{}, 1)
+	x, err := New(eng, Options{
+		Depth:    3,
+		MaxBatch: 16,
+		Deliver:  func(payload interface{}, preds []float32) { done <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	qs := randomQueries(model.SmallProduction(), 16, 5)
+	payload := new(int)
+	roundTrip := func() {
+		if err := x.Submit(qs, payload); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	roundTrip() // warm the ring
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Errorf("pipeline round trip: %v allocs per batch, want 0", allocs)
+	}
+}
+
+// fakeEngine is a StageEngine with deterministic stage durations, used to
+// cross-check the executor's measured steady-state interval against
+// pipesim's marked-graph prediction.
+type fakeEngine struct {
+	gather, dense, tail time.Duration
+}
+
+func (f *fakeEngine) EnsurePlane(s *core.BatchScratch, b int) {}
+func (f *fakeEngine) GatherIntoPlane(qs []embedding.Query, s *core.BatchScratch) {
+	time.Sleep(f.gather)
+}
+func (f *fakeEngine) DenseFromPlane(b int, s *core.BatchScratch) { time.Sleep(f.dense) }
+func (f *fakeEngine) TailFromPlane(b int, s *core.BatchScratch, dst []float32) {
+	time.Sleep(f.tail)
+	for i := range dst {
+		dst[i] = 0.5
+	}
+}
+
+// TestCrossCheckAgainstPipesim closes the loop between the simulator and the
+// real executor: with known stage latencies, the measured steady-state
+// inter-completion interval must match pipesim's prediction for the same
+// stage graph (within scheduler tolerance) and must beat the serial sum of
+// the stages — the overlap the paper's pipelined dataflow exists to deliver.
+func TestCrossCheckAgainstPipesim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive cross-check")
+	}
+	fe := &fakeEngine{gather: 2 * time.Millisecond, dense: 4 * time.Millisecond, tail: time.Millisecond}
+	var (
+		mu    sync.Mutex
+		times []time.Time
+	)
+	x, err := New(fe, Options{
+		Depth:    3,
+		MaxBatch: 4,
+		Deliver: func(payload interface{}, preds []float32) {
+			mu.Lock()
+			times = append(times, time.Now())
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 30
+	qs := make([]embedding.Query, 1)
+	for i := 0; i < batches; i++ {
+		if err := x.Submit(qs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != batches {
+		t.Fatalf("delivered %d batches, want %d", len(times), batches)
+	}
+
+	// Steady-state: skip the fill, average the remaining completion gaps.
+	const skip = 5
+	measured := times[len(times)-1].Sub(times[skip]).Seconds() * 1e9 / float64(len(times)-1-skip)
+
+	predicted := PredictIntervalNS([]float64{
+		float64(fe.gather), float64(fe.dense), float64(fe.tail),
+	}, 3)
+	serial := float64(fe.gather + fe.dense + fe.tail)
+
+	if predicted <= 0 {
+		t.Fatalf("pipesim prediction %v", predicted)
+	}
+	// The bottleneck stage (4 ms) bounds the interval from below; sleep
+	// overshoot and scheduling add on top, so allow a generous band.
+	if measured < 0.9*predicted || measured > 2.0*predicted {
+		t.Errorf("measured interval %.2f ms vs pipesim prediction %.2f ms (outside [0.9, 2.0]x)",
+			measured/1e6, predicted/1e6)
+	}
+	// Overlap: steady-state interval < gather + GEMM (+ tail) time.
+	if measured >= 0.85*serial {
+		t.Errorf("measured interval %.2f ms does not overlap stages (serial sum %.2f ms)",
+			measured/1e6, serial/1e6)
+	}
+
+	snap := x.Snapshot()
+	if snap.Completed != batches {
+		t.Errorf("snapshot completed %d, want %d", snap.Completed, batches)
+	}
+	if len(snap.Stages) != numStages {
+		t.Fatalf("snapshot has %d stages", len(snap.Stages))
+	}
+	if snap.Stages[stageDense].MeanServiceUS < snap.Stages[stageTail].MeanServiceUS {
+		t.Errorf("dense stage (%v us) should dominate tail (%v us)",
+			snap.Stages[stageDense].MeanServiceUS, snap.Stages[stageTail].MeanServiceUS)
+	}
+	if snap.PredictedIntervalUS <= 0 || snap.MeasuredIntervalUS <= 0 {
+		t.Errorf("snapshot intervals: measured %v us, predicted %v us",
+			snap.MeasuredIntervalUS, snap.PredictedIntervalUS)
+	}
+	if snap.SerialIntervalUS <= snap.PredictedIntervalUS {
+		t.Errorf("serial interval %v us should exceed the overlapped prediction %v us",
+			snap.SerialIntervalUS, snap.PredictedIntervalUS)
+	}
+}
+
+// TestPredictIntervalNS sanity-checks the pipesim cross-feed: the steady
+// interval of a linear pipeline of non-internally-pipelined stages is the
+// bottleneck stage time.
+func TestPredictIntervalNS(t *testing.T) {
+	got := PredictIntervalNS([]float64{2000, 4000, 1000}, 3)
+	if got < 3900 || got > 4100 {
+		t.Errorf("predicted interval %v ns, want ~4000 (bottleneck stage)", got)
+	}
+	if got := PredictIntervalNS([]float64{0, 4000, 1000}, 3); got != 0 {
+		t.Errorf("unmeasured stage should yield 0, got %v", got)
+	}
+}
+
+// TestCloseDrainsInFlightUnderLoad races Close against submitters: every
+// batch accepted by Submit must be delivered exactly once, submits after
+// close fail with ErrClosed, and Close is idempotent. Run under -race this
+// is the executor's shutdown integrity test.
+func TestCloseDrainsInFlightUnderLoad(t *testing.T) {
+	eng := buildEngine(t, model.SmallProduction(), core.SmallFP16())
+	var delivered atomic64
+	x, err := New(eng, Options{
+		Depth:    4,
+		MaxBatch: 8,
+		Deliver: func(payload interface{}, preds []float32) {
+			if len(preds) == 0 {
+				t.Error("empty delivery")
+			}
+			delivered.add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := randomQueries(model.SmallProduction(), 8, 9)
+	var (
+		wg       sync.WaitGroup
+		accepted atomic64
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := x.Submit(qs, nil)
+				switch {
+				case err == nil:
+					accepted.add(1)
+				case errors.Is(err, ErrClosed):
+					return
+				default:
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got, want := delivered.load(), accepted.load(); got != want {
+		t.Errorf("delivered %d batches, accepted %d — shutdown dropped responses", got, want)
+	}
+	if accepted.load() == 0 {
+		t.Error("no batch accepted before close")
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Submit(qs, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitRejectsOversizedBatch checks plane-capacity enforcement.
+func TestSubmitRejectsOversizedBatch(t *testing.T) {
+	eng := buildEngine(t, model.SmallProduction(), core.SmallFP16())
+	x, err := New(eng, Options{MaxBatch: 4, Deliver: func(interface{}, []float32) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := x.Submit(nil, nil); err == nil {
+		t.Error("empty batch: want error")
+	}
+	if err := x.Submit(make([]embedding.Query, 5), nil); err == nil {
+		t.Error("oversized batch: want error")
+	}
+}
+
+// atomic64 is a tiny test counter (avoids importing sync/atomic types into
+// every closure signature).
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

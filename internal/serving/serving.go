@@ -1,19 +1,24 @@
 // Package serving implements the batched online-inference subsystem: a
 // dynamic micro-batcher that coalesces concurrent predict requests into
-// hardware-sized batches (flush on max batch size or a deadline window), a
-// pool of engine workers draining those batches through the blocked batch
-// datapath, and per-request response futures.
+// hardware-sized batches (flush on max batch size or a deadline window),
+// drained through the staged pipeline executor — gather, dense GEMM and
+// tail/response stages overlapped over a ring of batch planes — with
+// per-request response futures. A flat engine worker pool remains available
+// as a fallback mode (Options.WorkerPool).
 //
 // This is the serving seam the paper argues for (§2.3): per-query serving —
 // one synchronous inference per HTTP request, the TensorFlow-Serving
 // baseline's pattern — leaves the engine streaming every FC weight matrix
 // once per query, while a micro-batch amortises the weight traffic across
-// all queries in flight. The window bounds the latency cost of coalescing
-// and can be validated against an SLA budget (see internal/sla).
+// all queries in flight. The pipelined drain adds the second hardware pillar
+// (§4.1): while batch i occupies the GEMM stage, batch i+1's gather is
+// already running, so memory latency hides behind compute. The window bounds
+// the latency cost of coalescing and can be validated against an SLA budget
+// (see internal/sla).
 //
-//	requests ──► Submit ──► micro-batcher ──► worker pool ──► Engine.InferBatch
-//	   ▲                    (size/window          │
-//	   └──── response futures ◄───────────────────┘
+//	requests ──► Submit ──► micro-batcher ──► dispatcher ──► pipeline executor
+//	   ▲                    (size/window         │          (gather │ GEMM │ tail)
+//	   └──── response futures ◄──────────────────┴──────────────────┘
 package serving
 
 import (
@@ -27,6 +32,7 @@ import (
 	"microrec/internal/core"
 	"microrec/internal/embedding"
 	"microrec/internal/metrics"
+	"microrec/internal/pipeline"
 	"microrec/internal/sla"
 )
 
@@ -48,8 +54,9 @@ type Options struct {
 	// (For per-query serving set MaxBatch to 1; the size flush then fires
 	// on every submit and the window never starts.)
 	Window time.Duration
-	// Workers is the number of engine workers draining batches. Default
-	// GOMAXPROCS.
+	// Workers is the number of engine workers draining batches in the
+	// worker-pool fallback mode (unused by the pipelined drain, which owns
+	// one goroutine per stage). Default GOMAXPROCS.
 	Workers int
 	// QueueDepth is the capacity of the submit queue (backpressure bound).
 	// Default 4*MaxBatch.
@@ -57,6 +64,15 @@ type Options struct {
 	// StatsWindow is the number of recent queries retained for the rolling
 	// latency statistics. Default 4096.
 	StatsWindow int
+	// WorkerPool selects the flat worker-pool drain (each batch runs
+	// gather + GEMM monolithically on one of Workers goroutines) instead of
+	// the default staged pipeline executor.
+	WorkerPool bool
+	// PipelineDepth is the batch-plane ring size of the pipelined drain:
+	// the bound on micro-batches in flight across the gather, GEMM and tail
+	// stages. Minimum 2 (overlap needs two planes). Default 3 — one plane
+	// per stage. Ignored in worker-pool mode.
+	PipelineDepth int
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -75,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StatsWindow == 0 {
 		o.StatsWindow = 4096
+	}
+	if o.PipelineDepth == 0 {
+		o.PipelineDepth = 3
 	}
 	return o
 }
@@ -95,6 +114,9 @@ func (o Options) Validate() error {
 	}
 	if o.StatsWindow < 1 {
 		return fmt.Errorf("serving: stats window %d", o.StatsWindow)
+	}
+	if !o.WorkerPool && o.PipelineDepth < 2 {
+		return fmt.Errorf("serving: pipeline depth %d (need >= 2 planes; use WorkerPool for the flat drain)", o.PipelineDepth)
 	}
 	return nil
 }
@@ -123,8 +145,9 @@ type request struct {
 	done chan outcome // buffered(1): workers never block on abandoned waiters
 }
 
-// Server coalesces concurrent Submit calls into micro-batches and serves
-// them on a pool of engine workers.
+// Server coalesces concurrent Submit calls into micro-batches and drains
+// them through the staged pipeline executor (or, in fallback mode, a pool of
+// engine workers).
 type Server struct {
 	eng  *core.Engine
 	opts Options
@@ -134,7 +157,10 @@ type Server struct {
 
 	submit  chan *request
 	batches chan []*request
-	wg      sync.WaitGroup
+	// pipe is the staged executor of the default pipelined drain; nil in
+	// worker-pool mode.
+	pipe *pipeline.Executor
+	wg   sync.WaitGroup
 
 	latencyUS *metrics.Rolling // per-query wall latency, µs
 	occupancy *metrics.Rolling // dispatched batch sizes
@@ -174,11 +200,26 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 		occupancy:   metrics.NewRolling(opts.StatsWindow),
 		timingCache: make(map[timingKey]core.TimingReport),
 	}
-	s.wg.Add(1 + opts.Workers)
-	go s.batcher()
-	for i := 0; i < opts.Workers; i++ {
-		go s.worker()
+	if opts.WorkerPool {
+		s.wg.Add(1 + opts.Workers)
+		go s.batcher()
+		for i := 0; i < opts.Workers; i++ {
+			go s.worker()
+		}
+		return s, nil
 	}
+	pipe, err := pipeline.New(eng, pipeline.Options{
+		Depth:    opts.PipelineDepth,
+		MaxBatch: opts.MaxBatch,
+		Deliver:  s.deliver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pipe = pipe
+	s.wg.Add(2)
+	go s.batcher()
+	go s.dispatcher()
 	return s, nil
 }
 
@@ -217,8 +258,10 @@ func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) 
 	}
 }
 
-// Close stops accepting queries, drains every in-flight request and waits
-// for the batcher and workers to exit. It is idempotent.
+// Close stops accepting queries, drains every in-flight request — through
+// the remaining pipeline stages in pipelined mode — and waits for the
+// background goroutines to exit. No accepted request is dropped. It is
+// idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -228,7 +271,13 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.submit)
+	// Batcher flushes and closes s.batches; the dispatcher (or workers)
+	// drains it. Only then may the executor close: every accepted batch has
+	// been submitted, and the executor's Close delivers the in-flight ones.
 	s.wg.Wait()
+	if s.pipe != nil {
+		return s.pipe.Close()
+	}
 	return nil
 }
 
@@ -302,10 +351,11 @@ func (s *Server) batcher() {
 	}
 }
 
-// worker drains batches through the engine's blocked batch datapath. Each
-// worker owns a private scratch; the engine itself is immutable and shared.
-// Queries were validated once at admission (Submit), so workers use the
-// validated fast path and skip the second shape/range pass.
+// worker drains batches through the engine's monolithic blocked batch
+// datapath — the worker-pool fallback mode. Each worker owns a private
+// scratch; the engine itself is immutable and shared. Queries were validated
+// once at admission (Submit), so workers use the validated fast path and
+// skip the second shape/range pass.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var scratch core.BatchScratch
@@ -317,31 +367,63 @@ func (s *Server) worker() {
 			queries = append(queries, r.q)
 		}
 		_, err := s.eng.InferBatchValidated(queries, preds[:len(batch)], &scratch)
-		var rep core.TimingReport
-		if err == nil {
-			rep, err = s.timing(len(batch))
+		s.complete(batch, preds[:len(batch)], err)
+	}
+}
+
+// dispatcher drains formed batches into the pipeline executor — the default
+// pipelined mode. Submit copies the query headers onto a plane, so the local
+// buffer is reusable immediately; the batch itself rides through the stages
+// as the plane's payload and resurfaces in deliver.
+func (s *Server) dispatcher() {
+	defer s.wg.Done()
+	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
+	for batch := range s.batches {
+		queries = queries[:0]
+		for _, r := range batch {
+			queries = append(queries, r.q)
 		}
-		// Record stats before resolving any future, so a Stats() call
-		// racing a just-returned Submit always sees the batch.
-		now := time.Now()
-		s.occupancy.Observe(now, float64(len(batch)))
-		if err == nil {
-			for _, r := range batch {
-				s.latencyUS.Observe(now, now.Sub(r.enq).Seconds()*1e6)
-			}
+		if err := s.pipe.Submit(queries, batch); err != nil {
+			s.complete(batch, nil, err)
 		}
-		for i, r := range batch {
-			if err != nil {
-				r.done <- outcome{err: err}
-				continue
-			}
-			r.done <- outcome{res: Result{
-				CTR:              preds[i],
-				ModeledLatencyUS: rep.LatencyNS / 1e3,
-				WallTime:         now.Sub(r.enq),
-				BatchSize:        len(batch),
-			}}
+	}
+}
+
+// deliver receives completed batches on the executor's tail stage. preds is
+// plane-owned and only valid during the call; complete resolves every future
+// synchronously (buffered done channels), so nothing outlives it.
+func (s *Server) deliver(payload interface{}, preds []float32) {
+	s.complete(payload.([]*request), preds, nil)
+}
+
+// complete finishes one batch: the per-batch timing report, serving metrics,
+// and the response future of every request. On error all futures carry the
+// error instead.
+func (s *Server) complete(batch []*request, preds []float32, err error) {
+	var rep core.TimingReport
+	if err == nil {
+		rep, err = s.timing(len(batch))
+	}
+	// Record stats before resolving any future, so a Stats() call racing a
+	// just-returned Submit always sees the batch.
+	now := time.Now()
+	s.occupancy.Observe(now, float64(len(batch)))
+	if err == nil {
+		for _, r := range batch {
+			s.latencyUS.Observe(now, now.Sub(r.enq).Seconds()*1e6)
 		}
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.done <- outcome{err: err}
+			continue
+		}
+		r.done <- outcome{res: Result{
+			CTR:              preds[i],
+			ModeledLatencyUS: rep.LatencyNS / 1e3,
+			WallTime:         now.Sub(r.enq),
+			BatchSize:        len(batch),
+		}}
 	}
 }
 
@@ -402,9 +484,15 @@ type HotCacheStats struct {
 	ColdLookupNS      float64 `json:"cold_lookup_ns"`
 }
 
+// PipelineStats is the serving-side view of the staged pipeline executor:
+// ring depth, in-flight batch count, per-stage occupancy/service times and
+// the measured vs pipesim-predicted steady-state initiation interval.
+type PipelineStats = pipeline.Snapshot
+
 // Stats is a point-in-time view of the server's rolling serving statistics.
 type Stats struct {
-	// Configuration echo.
+	// Configuration echo. Mode is "pipeline" or "worker-pool".
+	Mode     string  `json:"mode"`
 	MaxBatch int     `json:"max_batch"`
 	WindowUS float64 `json:"window_us"`
 	Workers  int     `json:"workers"`
@@ -416,9 +504,20 @@ type Stats struct {
 	LatencyUS      LatencySummary `json:"latency_us"`
 	MeanBatch      float64        `json:"mean_batch"`
 	BatchOccupancy float64        `json:"batch_occupancy"`
+	// Pipeline reports the staged executor when the server runs the
+	// pipelined drain (nil in worker-pool mode).
+	Pipeline *PipelineStats `json:"pipeline,omitempty"`
 	// HotCache reports the engine's live hot-row cache when one is
 	// attached (nil otherwise).
 	HotCache *HotCacheStats `json:"hotcache,omitempty"`
+}
+
+// Mode reports the server's drain mode: "pipeline" or "worker-pool".
+func (s *Server) Mode() string {
+	if s.pipe != nil {
+		return "pipeline"
+	}
+	return "worker-pool"
 }
 
 // Stats snapshots the rolling serving statistics.
@@ -427,6 +526,7 @@ func (s *Server) Stats() Stats {
 	lat := s.latencyUS.Snapshot(now)
 	occ := s.occupancy.Snapshot(now)
 	st := Stats{
+		Mode:     s.Mode(),
 		MaxBatch: s.opts.MaxBatch,
 		WindowUS: float64(s.opts.Window) / float64(time.Microsecond),
 		Workers:  s.opts.Workers,
@@ -441,6 +541,10 @@ func (s *Server) Stats() Stats {
 			Max:  lat.Summary.Max,
 		},
 		MeanBatch: occ.Summary.Mean,
+	}
+	if s.pipe != nil {
+		snap := s.pipe.Snapshot()
+		st.Pipeline = &snap
 	}
 	if st.MaxBatch > 0 {
 		st.BatchOccupancy = st.MeanBatch / float64(st.MaxBatch)
@@ -474,7 +578,7 @@ func (s *Server) ValidateSLA(budget time.Duration) error {
 	}
 	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
 	budgetMS := float64(budget) / float64(time.Millisecond)
-	return sla.ValidateAdmittedWindow(windowMS, rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.opts.Workers)
+	return sla.ValidateAdmittedWindow(windowMS, rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.drainWorkers())
 }
 
 // AdmittedLatencyBounds returns the worst-case admitted latency (computed
@@ -493,7 +597,7 @@ func (s *Server) AdmittedLatencyBounds() (worst, expected time.Duration, err err
 	}
 	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
 	worstMS, expectedMS := sla.AdmittedLatencyBoundsMS(
-		windowMS, cold.MakespanNS/1e6, warm.MakespanNS/1e6, s.backlogBatches(), s.opts.Workers)
+		windowMS, cold.MakespanNS/1e6, warm.MakespanNS/1e6, s.backlogBatches(), s.drainWorkers())
 	return time.Duration(worstMS * float64(time.Millisecond)),
 		time.Duration(expectedMS * float64(time.Millisecond)), nil
 }
@@ -508,7 +612,7 @@ func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) 
 		return 0, err
 	}
 	budgetMS := float64(budget) / float64(time.Millisecond)
-	ms, err := sla.MaxWindowUnderBudget(rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.opts.Workers)
+	ms, err := sla.MaxWindowUnderBudget(rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.drainWorkers())
 	if err != nil {
 		return 0, err
 	}
@@ -516,8 +620,26 @@ func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) 
 }
 
 // backlogBatches bounds the batches ahead of a freshly admitted query: the
-// submit queue can hold ceil(QueueDepth/MaxBatch) batches, the dispatch
-// channel 2*Workers, and every worker may have one in service.
+// submit queue can hold ceil(QueueDepth/MaxBatch) batches, plus — in
+// worker-pool mode — 2*Workers in the dispatch channel and one in service
+// per worker; in pipelined mode the dispatch channel, the dispatcher's hand
+// and the plane ring bound the in-flight batches instead.
 func (s *Server) backlogBatches() int {
-	return (s.opts.QueueDepth+s.opts.MaxBatch-1)/s.opts.MaxBatch + 3*s.opts.Workers
+	queued := (s.opts.QueueDepth + s.opts.MaxBatch - 1) / s.opts.MaxBatch
+	if s.pipe != nil {
+		return queued + 2*s.opts.Workers + 1 + s.opts.PipelineDepth
+	}
+	return queued + 3*s.opts.Workers
+}
+
+// drainWorkers is the batch-drain parallelism the SLA backlog model divides
+// by: the worker pool drains Workers batches concurrently; the pipeline is
+// modeled conservatively as one worker with the full (un-overlapped) batch
+// service time — stage overlap only shortens the real drain, so the
+// worst-case admitted bound stays valid.
+func (s *Server) drainWorkers() int {
+	if s.pipe != nil {
+		return 1
+	}
+	return s.opts.Workers
 }

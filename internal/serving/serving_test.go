@@ -458,3 +458,174 @@ func TestServeHotCacheRace(t *testing.T) {
 		t.Error("expected cache hits under repeated concurrent traffic")
 	}
 }
+
+// TestPipelineModeDefaults checks the default drain is the staged pipeline
+// and that its options validate: depth below 2 is rejected unless the
+// worker-pool fallback is selected.
+func TestPipelineModeDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.PipelineDepth != 3 || o.WorkerPool {
+		t.Errorf("defaults = %+v, want pipelined drain with depth 3", o)
+	}
+	if err := (Options{PipelineDepth: 1}).withDefaults().Validate(); err == nil {
+		t.Error("pipeline depth 1: want error")
+	}
+	if err := (Options{PipelineDepth: 1, WorkerPool: true}).withDefaults().Validate(); err != nil {
+		t.Errorf("worker pool ignores pipeline depth: %v", err)
+	}
+
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond})
+	if srv.Mode() != "pipeline" {
+		t.Errorf("mode = %q, want pipeline", srv.Mode())
+	}
+	pool := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond, WorkerPool: true})
+	if pool.Mode() != "worker-pool" {
+		t.Errorf("mode = %q, want worker-pool", pool.Mode())
+	}
+	if st := pool.Stats(); st.Pipeline != nil || st.Mode != "worker-pool" {
+		t.Errorf("worker-pool stats carry a pipeline section: %+v", st)
+	}
+}
+
+// TestWorkerPoolFallbackServes drives the fallback drain end to end: results
+// stay bit-identical to the per-query datapath and close drains in flight —
+// the PR 2 behaviour, preserved behind the flag.
+func TestWorkerPoolFallbackServes(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: 200 * time.Microsecond, Workers: 2, WorkerPool: true})
+	qs := randomQueries(t, eng.Spec(), 16, 31)
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := srv.Submit(context.Background(), qs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want, err := eng.InferOne(qs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.CTR != want {
+				t.Errorf("query %d: CTR %v, want %v", i, res.CTR, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.Queries != 16 || st.Mode != "worker-pool" {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStatsPipelineSection checks /stats' pipeline block: depth, in-flight
+// bound, per-stage counters that agree with the batch count, and the
+// measured/predicted interval pair once traffic has flowed.
+func TestStatsPipelineSection(t *testing.T) {
+	eng := testEngine(t)
+	srv := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond, PipelineDepth: 4})
+	qs := randomQueries(t, eng.Spec(), 16, 37)
+	ctx := context.Background()
+	for rep := 0; rep < 4; rep++ {
+		var wg sync.WaitGroup
+		for _, q := range qs {
+			wg.Add(1)
+			go func(q embedding.Query) {
+				defer wg.Done()
+				if _, err := srv.Submit(ctx, q); err != nil {
+					t.Errorf("submit: %v", err)
+				}
+			}(q)
+		}
+		wg.Wait()
+	}
+	st := srv.Stats()
+	if st.Mode != "pipeline" || st.Pipeline == nil {
+		t.Fatalf("stats missing pipeline section: %+v", st)
+	}
+	p := st.Pipeline
+	if p.Depth != 4 {
+		t.Errorf("depth %d, want 4", p.Depth)
+	}
+	if p.InFlight < 0 || p.InFlight > p.Depth {
+		t.Errorf("in-flight %d outside [0, %d]", p.InFlight, p.Depth)
+	}
+	if p.Completed == 0 || p.Completed != st.Batches {
+		t.Errorf("pipeline completed %d batches, server dispatched %d", p.Completed, st.Batches)
+	}
+	if len(p.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3 (gather, dense-gemm, tail)", len(p.Stages))
+	}
+	for _, stage := range p.Stages {
+		if stage.Batches != p.Completed {
+			t.Errorf("stage %s served %d batches, want %d", stage.Name, stage.Batches, p.Completed)
+		}
+		if stage.MeanServiceUS <= 0 {
+			t.Errorf("stage %s mean service %v", stage.Name, stage.MeanServiceUS)
+		}
+		if stage.Occupancy < 0 || stage.Occupancy > 1 {
+			t.Errorf("stage %s occupancy %v", stage.Name, stage.Occupancy)
+		}
+	}
+	if p.PredictedIntervalUS <= 0 {
+		t.Errorf("predicted interval %v us after traffic", p.PredictedIntervalUS)
+	}
+	if p.SerialIntervalUS < p.PredictedIntervalUS {
+		t.Errorf("serial interval %v us below overlapped prediction %v us",
+			p.SerialIntervalUS, p.PredictedIntervalUS)
+	}
+}
+
+// TestPipelineCloseDrainsInFlight is the pipelined twin of
+// TestCloseDrainsInFlight: closing mid-wave must resolve every accepted
+// request through the remaining stages (run under -race in CI).
+func TestPipelineCloseDrainsInFlight(t *testing.T) {
+	eng := testEngine(t)
+	srv, err := New(eng, Options{MaxBatch: 8, Window: 200 * time.Microsecond, PipelineDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := randomQueries(t, eng.Spec(), 16, 41)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok, closed := 0, 0
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				_, err := srv.Submit(context.Background(), qs[g])
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrServerClosed):
+					closed++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no request served before close")
+	}
+	if closed == 0 {
+		t.Error("no request observed the closed server")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("submit after close = %v, want ErrServerClosed", err)
+	}
+}

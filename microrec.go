@@ -14,8 +14,11 @@
 //   - a real multi-core CPU baseline engine plus the calibrated analytic
 //     model of the paper's TensorFlow-Serving testbed, and
 //   - the batched serving subsystem: a dynamic micro-batcher that
-//     coalesces concurrent predict requests into hardware-sized batches
-//     served by an engine worker pool (NewServer).
+//     coalesces concurrent predict requests into hardware-sized batches,
+//     drained through a staged pipeline executor whose gather, dense-GEMM
+//     and tail stages overlap over a ring of in-flight batch planes — the
+//     software analogue of the paper's pipelined dataflow (§4.1) — with a
+//     flat engine worker pool as a fallback mode (NewServer).
 //
 // Quick start:
 //
@@ -85,17 +88,23 @@ type (
 	// (one per goroutine).
 	BatchScratch = core.BatchScratch
 	// Server is the batched serving subsystem: a dynamic micro-batcher
-	// plus an engine worker pool behind response futures.
+	// drained through the staged pipeline executor (or, in fallback mode,
+	// an engine worker pool) behind response futures.
 	Server = serving.Server
 	// ServerOptions configures NewServer (batch size, flush window,
-	// worker count).
+	// pipeline depth / worker-pool fallback, worker count).
 	ServerOptions = serving.Options
 	// ServeResult is one served query's prediction plus modeled-vs-wall
 	// latency.
 	ServeResult = serving.Result
 	// ServerStats is a rolling snapshot of serving statistics (latency
-	// percentiles, QPS, batch occupancy, hot-row cache behaviour).
+	// percentiles, QPS, batch occupancy, pipeline stage occupancy,
+	// hot-row cache behaviour).
 	ServerStats = serving.Stats
+	// PipelineStats is the /stats view of the staged pipeline executor:
+	// ring depth, in-flight batches, per-stage occupancy and the measured
+	// vs pipesim-predicted steady-state initiation interval.
+	PipelineStats = serving.PipelineStats
 	// HotCacheInfo is a snapshot of an engine's live hot-row cache
 	// (Engine.HotCache).
 	HotCacheInfo = core.HotCacheInfo
@@ -245,8 +254,12 @@ func PaperCPUModel(modelName string) (CPUModel, error) {
 
 // NewServer starts the batched serving subsystem around an engine: Submit
 // coalesces concurrent queries into micro-batches (flush on batch size or
-// deadline window) served by a pool of engine workers. The returned server
-// owns background goroutines; callers must Close it.
+// deadline window), drained by default through the staged pipeline executor
+// — gather, dense-GEMM and tail stages overlapped over a ring of
+// ServerOptions.PipelineDepth batch planes, bit-identical to the monolithic
+// datapath — or by a flat engine worker pool when ServerOptions.WorkerPool
+// is set. The returned server owns background goroutines; callers must
+// Close it.
 func NewServer(eng *Engine, opts ServerOptions) (*Server, error) {
 	return serving.New(eng, opts)
 }
