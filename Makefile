@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke ci
+.PHONY: build test race bench bench-json loadtest-json bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ bench:
 # and writes BENCH_serve.json, so the perf trajectory is tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/microrec bench -o BENCH_serve.json
+
+# loadtest-json sweeps open-loop offered load through 2.5x saturation and
+# writes BENCH_loadtest.json: the knee (max qps meeting the SLA), per-level
+# admitted-tail latency, and shed fail-fast times — the overload-behaviour
+# trajectory next to bench-json's throughput trajectory.
+loadtest-json:
+	$(GO) run ./cmd/microrec loadtest -o BENCH_loadtest.json
 
 # bench-smoke runs the datapath/serving benchmarks once each — a fast check
 # that the hot paths still execute, used by CI.

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"microrec"
+)
+
+// loadtestReport is the JSON document `microrec loadtest` emits
+// (BENCH_loadtest.json via `make loadtest-json`): the open-loop sweep's
+// per-level results, the measured knee, and the pipesim-predicted capacity
+// it is judged against — the overload-behaviour trajectory across PRs, next
+// to BENCH_serve.json's throughput trajectory.
+type loadtestReport struct {
+	Benchmark       string  `json:"benchmark"`
+	Model           string  `json:"model"`
+	SLAMS           float64 `json:"sla_ms"`
+	MaxBatch        int     `json:"max_batch"`
+	WindowUS        float64 `json:"window_us"`
+	QueueDepth      int     `json:"queue_depth"`
+	PipelineDepth   int     `json:"pipeline_depth"`
+	RequestsPerLoad int     `json:"requests_per_load"`
+	Tolerance       float64 `json:"tolerance"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Timestamp       string  `json:"timestamp"`
+	// CalibratedQPS is the saturation goodput the auto ladder was built
+	// around (0 when -loads was given explicitly).
+	CalibratedQPS float64 `json:"calibrated_qps,omitempty"`
+	// Points are the sweep levels in offered-rate order.
+	Points []microrec.LoadPoint `json:"points"`
+	// KneeQPS is the highest offered rate that met the SLA.
+	KneeQPS float64 `json:"knee_qps"`
+	// PredictedCapacityQPS is pipesim's capacity estimate over the measured
+	// stage times (Server.CapacityQPS) after the sweep — the model the
+	// measured knee is cross-checked against.
+	PredictedCapacityQPS float64 `json:"predicted_capacity_qps"`
+	// Admission echoes the server's final admission counters.
+	Admission microrec.AdmissionStats `json:"admission"`
+}
+
+// parseLoadList parses a comma-separated ascending qps ladder ("500,1000").
+func parseLoadList(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("loadtest: bad load %q in -loads", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdLoadtest(args []string) error {
+	fs := newFlagSet("loadtest")
+	modelName := fs.String("model", "small", "model: small or large")
+	out := fs.String("o", "BENCH_loadtest.json", "output JSON path (- for stdout only)")
+	n := fs.Int("n", 2000, "requests offered per load level")
+	slaBudget := fs.Duration("sla", 100*time.Millisecond, "per-request deadline and knee criterion")
+	loads := fs.String("loads", "auto", "comma-separated offered qps ladder, or 'auto' to calibrate and sweep 0.25x-2.5x of saturation")
+	batch := fs.Int("batch", 32, "max micro-batch size")
+	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
+	queue := fs.Int("queue", 64, "submit queue depth (0 = 4x batch); bounds every admitted request's queueing delay")
+	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
+	tol := fs.Float64("tol", 0.01, "loss fraction (shed+expired) still counted as meeting the SLA")
+	zipf := fs.Bool("zipf", true, "Zipfian query skew (false = uniform)")
+	seed := fs.Int64("seed", 21, "deterministic arrival + workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 50 {
+		return fmt.Errorf("loadtest: -n must be >= 50 (got %d): the knee is a tail measurement", *n)
+	}
+	if *slaBudget <= 0 {
+		return fmt.Errorf("loadtest: -sla must be > 0 (got %v)", *slaBudget)
+	}
+	if *tol < 0 || *tol >= 1 {
+		return fmt.Errorf("loadtest: -tol must be in [0, 1) (got %v)", *tol)
+	}
+	if *queue < 0 {
+		return fmt.Errorf("loadtest: -queue must be >= 0 (got %d)", *queue)
+	}
+	var ladder []float64
+	if *loads != "auto" {
+		var err error
+		if ladder, err = parseLoadList(*loads); err != nil {
+			return err
+		}
+	}
+
+	spec, _, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096})
+	if err != nil {
+		return err
+	}
+	// The loadtest server always sheds: open-loop overload against a
+	// blocking queue just moves the queue into the harness.
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch:      *batch,
+		Window:        *window,
+		QueueDepth:    *queue,
+		PipelineDepth: *pipelineDepth,
+		Shed:          true,
+		SLA:           *slaBudget,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	dist := microrec.Uniform
+	if *zipf {
+		dist = microrec.Zipf
+	}
+	gen, err := microrec.NewGenerator(spec, dist, *seed)
+	if err != nil {
+		return err
+	}
+	qs := make([]microrec.Query, 512)
+	for i := range qs {
+		qs[i] = gen.Next()
+	}
+
+	rep := loadtestReport{
+		Benchmark:       "loadtest",
+		Model:           spec.Name,
+		SLAMS:           float64(*slaBudget) / float64(time.Millisecond),
+		MaxBatch:        *batch,
+		WindowUS:        float64(*window) / float64(time.Microsecond),
+		QueueDepth:      srv.Options().QueueDepth,
+		PipelineDepth:   *pipelineDepth,
+		RequestsPerLoad: *n,
+		Tolerance:       *tol,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	if ladder == nil {
+		// Calibrate: offer far past any plausible capacity; a shedding
+		// server's goodput under saturation approximates its capacity.
+		arr, err := microrec.NewPoissonArrivals(1e6, *seed)
+		if err != nil {
+			return err
+		}
+		calib, err := microrec.RunLoad(srv, qs, arr, microrec.LoadOptions{Requests: *n / 2, SLA: *slaBudget})
+		if err != nil {
+			return fmt.Errorf("loadtest: calibration: %w", err)
+		}
+		if calib.AdmittedQPS <= 0 {
+			return fmt.Errorf("loadtest: calibration admitted nothing (SLA %v too tight for this host?)", *slaBudget)
+		}
+		rep.CalibratedQPS = calib.AdmittedQPS
+		fmt.Printf("calibrated saturation goodput: %.0f qps (admitted %d / offered %d)\n",
+			calib.AdmittedQPS, calib.Admitted, calib.Offered)
+		for _, f := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5} {
+			ladder = append(ladder, f*calib.AdmittedQPS)
+		}
+	}
+
+	sweep, err := microrec.SweepLoad(srv, qs, microrec.LoadSweepOptions{
+		Loads:     ladder,
+		Requests:  *n,
+		SLA:       *slaBudget,
+		Tolerance: *tol,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Points = sweep.Points
+	rep.KneeQPS = sweep.KneeQPS
+	rep.PredictedCapacityQPS = srv.CapacityQPS()
+	rep.Admission = srv.Stats().Admission
+
+	fmt.Printf("\n%-12s %-12s %-10s %-10s %-10s %-8s %-8s %s\n",
+		"offered-qps", "goodput-qps", "p50-us", "p99-us", "shed-p99", "shed", "expired", "SLA")
+	for _, p := range sweep.Points {
+		verdict := "MISS"
+		if p.MeetsSLA(*slaBudget, *tol) {
+			verdict = "meets"
+		}
+		fmt.Printf("%-12.0f %-12.0f %-10.0f %-10.0f %-10.0f %-8d %-8d %s\n",
+			p.TargetQPS, p.AdmittedQPS, p.AdmittedLatencyUS.P50, p.AdmittedLatencyUS.P99,
+			p.ShedLatencyUS.P99, p.Shed, p.Expired, verdict)
+	}
+	fmt.Printf("\nknee: %.0f qps meeting the %v SLA (pipesim-predicted capacity %.0f qps)\n",
+		rep.KneeQPS, *slaBudget, rep.PredictedCapacityQPS)
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	microrec infer -model small -n 16 [...]       run the engine on queries
 //	microrec serve -addr :8080 -model small       HTTP inference server
 //	microrec bench -o BENCH_serve.json            serving perf per batch size
+//	microrec loadtest -sla 25ms                   open-loop sweep: knee + tail under overload
 //	microrec list                                 list available experiments
 package main
 
@@ -45,6 +46,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "bench":
 		return cmdBench(args[1:])
+	case "loadtest":
+		return cmdLoadtest(args[1:])
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -65,6 +68,8 @@ commands:
   infer            run the accelerator engine on synthetic queries
   serve            start an HTTP inference server
   bench            measure serving ns/query per batch size, emit JSON
+  loadtest         open-loop load sweep: find the knee (max qps meeting the
+                   SLA), drive past it, emit BENCH_loadtest.json
   trace            export a chrome://tracing pipeline trace
   spec             print a model specification
   list             list available experiments

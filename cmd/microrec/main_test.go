@@ -496,3 +496,164 @@ func TestCmdBench(t *testing.T) {
 		}
 	}
 }
+
+// TestServeMuxOverloadResponses drives /predict into the shed path: a tiny
+// bounded queue with -shed semantics must answer 429 with a Retry-After
+// header once the burst outruns the drain.
+func TestServeMuxOverloadResponses(t *testing.T) {
+	// Workers sizes the internal dispatch channel (2x) even in pipelined
+	// mode; pin it to 1 so the server's total internal buffering stays far
+	// below the burst size and sheds are guaranteed.
+	mux, _ := testMux(t, microrec.ServerOptions{
+		MaxBatch: 1, Window: 200 * time.Microsecond, QueueDepth: 1,
+		Workers: 1, PipelineDepth: 2, Shed: true,
+	})
+	gen, err := microrec.NewGenerator(microrec.SmallProductionModel(), microrec.Uniform, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(predictRequest{Indices: gen.Next()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg            sync.WaitGroup
+		mu            sync.Mutex
+		okCount       int
+		overloaded    int
+		missingHeader int
+	)
+	// Concurrent bursts against a depth-1 queue at batch 1: the drain
+	// serves one query at a time, so the queue must eventually be caught
+	// full. Waves repeat under a time budget because a single-core
+	// scheduler can interleave one wave's submits with the drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for i := 0; i < 64; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rec := httptest.NewRecorder()
+				mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(string(body))))
+				mu.Lock()
+				defer mu.Unlock()
+				switch rec.Code {
+				case http.StatusOK:
+					okCount++
+				case http.StatusTooManyRequests:
+					overloaded++
+					if rec.Header().Get("Retry-After") == "" {
+						missingHeader++
+					}
+				default:
+					t.Errorf("/predict = %d: %s", rec.Code, rec.Body.String())
+				}
+			}()
+		}
+		wg.Wait()
+		mu.Lock()
+		done := overloaded > 0
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("bursts into a depth-1 queue shed nothing")
+	}
+	if okCount == 0 {
+		t.Error("no request served")
+	}
+	if missingHeader > 0 {
+		t.Errorf("%d 429 responses missing the Retry-After header", missingHeader)
+	}
+
+	// /stats surfaces the admission section with the shed count.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	adm, ok := raw["admission"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing admission section: %v", raw)
+	}
+	for _, key := range []string{"queue_depth", "queue_capacity", "shedding", "shed", "deadline_drops", "cancel_drops", "late_completions", "knee_qps", "retry_after_ms"} {
+		if _, ok := adm[key]; !ok {
+			t.Errorf("/stats admission missing %q: %v", key, adm)
+		}
+	}
+	if shed, _ := adm["shed"].(float64); shed == 0 {
+		t.Errorf("admission shed = %v, want > 0", adm["shed"])
+	}
+	if shedding, _ := adm["shedding"].(bool); !shedding {
+		t.Error("admission shedding = false on a shedding server")
+	}
+}
+
+// TestCmdLoadtest runs the loadtest subcommand at a tiny scale with an
+// explicit ladder and golden-checks the emitted JSON document.
+func TestCmdLoadtest(t *testing.T) {
+	out := t.TempDir() + "/loadtest.json"
+	if err := run([]string{"loadtest", "-n", "60", "-loads", "300,600", "-sla", "100ms", "-batch", "8", "-o", out}); err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadtestReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("loadtest output is not JSON: %v", err)
+	}
+	if rep.Benchmark != "loadtest" || rep.Model != "production-small" {
+		t.Errorf("report header = %+v", rep)
+	}
+	if rep.SLAMS != 100 || rep.RequestsPerLoad != 60 {
+		t.Errorf("report config: sla %v ms, n %d", rep.SLAMS, rep.RequestsPerLoad)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for i, want := range []float64{300, 600} {
+		p := rep.Points[i]
+		if p.TargetQPS != want || p.Offered != 60 {
+			t.Errorf("point %d = %+v", i, p)
+		}
+		if p.Admitted+p.Shed+p.Expired+p.Failed != p.Offered {
+			t.Errorf("point %d classification leak: %+v", i, p)
+		}
+	}
+	if rep.PredictedCapacityQPS <= 0 {
+		t.Errorf("predicted capacity = %v", rep.PredictedCapacityQPS)
+	}
+
+	// Flag rejection paths.
+	for _, bad := range [][]string{
+		{"loadtest", "-n", "10"},
+		{"loadtest", "-sla", "0s"},
+		{"loadtest", "-loads", "100,abc"},
+		{"loadtest", "-loads", "200,100"},
+		{"loadtest", "-tol", "1.5"},
+		{"loadtest", "-queue", "-1"},
+		{"loadtest", "-model", "bogus"},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("%v: want error", bad)
+		}
+	}
+}
+
+// TestServeFlagValidationAdmission drives cmdServe's new admission flags
+// through their rejection paths.
+func TestServeFlagValidationAdmission(t *testing.T) {
+	for _, bad := range [][]string{
+		{"serve", "-queue", "-1"},
+		{"serve", "-sla", "-1s"},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("%v: want error", bad)
+		}
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"microrec"
@@ -62,6 +64,18 @@ func newServeMux(eng *microrec.Engine, srv *microrec.Server) *http.ServeMux {
 			switch {
 			case errors.Is(err, microrec.ErrInvalidQuery):
 				http.Error(w, err.Error(), http.StatusBadRequest)
+			case errors.Is(err, microrec.ErrOverloaded):
+				// Load shed: tell the client when a queue slot should free
+				// (the pipesim-predicted steady-state batch interval,
+				// rounded up to the header's whole-second granularity).
+				retry := int(math.Ceil(srv.RetryAfter().Seconds()))
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
+				http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			case errors.Is(err, microrec.ErrExpired):
+				http.Error(w, "deadline expired before service", http.StatusGatewayTimeout)
 			case errors.Is(err, microrec.ErrServerClosed):
 				http.Error(w, "server closed", http.StatusServiceUnavailable)
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -114,7 +128,9 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size (worker-pool fallback mode only)")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "batch planes in the pipelined drain's in-flight ring (>= 2); per-stage occupancy appears in /stats")
 	workerPool := fs.Bool("worker-pool", false, "drain batches on the flat engine worker pool instead of the staged gather/GEMM pipeline")
-	slaBudget := fs.Duration("sla", 0, "tail-latency budget to validate the window against (0 = skip)")
+	slaBudget := fs.Duration("sla", 0, "tail-latency budget: validates the window at startup and becomes each request's serving deadline (expired requests are dropped before gather/GEMM; 0 = skip)")
+	queue := fs.Int("queue", 0, "submit queue depth (0 = 4x batch); with -shed this bounds every admitted request's queueing delay")
+	shed := fs.Bool("shed", false, "fail fast with 429 + Retry-After when the submit queue is full, instead of blocking on backpressure")
 	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off); hit rate and effective lookup latency appear in /stats")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +152,12 @@ func cmdServe(args []string) error {
 	if *hotCache < 0 {
 		return fmt.Errorf("serve: -hotcache must be >= 0 bytes (got %d)", *hotCache)
 	}
+	if *queue < 0 {
+		return fmt.Errorf("serve: -queue must be >= 0 (got %d)", *queue)
+	}
+	if *slaBudget < 0 {
+		return fmt.Errorf("serve: -sla must be >= 0 (got %v)", *slaBudget)
+	}
 	spec, _, err := specByName(*modelName)
 	if err != nil {
 		return err
@@ -154,6 +176,9 @@ func cmdServe(args []string) error {
 		Workers:       *workers,
 		WorkerPool:    *workerPool,
 		PipelineDepth: *pipelineDepth,
+		QueueDepth:    *queue,
+		Shed:          *shed,
+		SLA:           *slaBudget,
 	})
 	if err != nil {
 		return err
@@ -177,6 +202,9 @@ func cmdServe(args []string) error {
 	cacheNote := ""
 	if *hotCache > 0 {
 		cacheNote = fmt.Sprintf(", hot-row cache %d B", *hotCache)
+	}
+	if *shed {
+		cacheNote += fmt.Sprintf(", shedding at queue depth %d", srv.Options().QueueDepth)
 	}
 	drainNote := fmt.Sprintf("pipelined drain, %d planes", *pipelineDepth)
 	if *workerPool {

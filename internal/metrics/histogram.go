@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a thread-safe, log-bucketed latency histogram: observations
+// land in exponentially spaced buckets, so tail quantiles (p50/p95/p99/p99.9)
+// are recoverable within a configured relative error without storing a single
+// sample. This is what the open-loop load harness records into — at overload
+// the sample count is exactly what explodes, so the recorder must be O(1) per
+// observation and fixed-size overall (a DDSketch-style store; the Rolling
+// ring, which keeps raw samples, stays the right tool for the bounded /stats
+// windows).
+//
+// Bucket i covers (gamma^i, gamma^(i+1)] with gamma = (1+eps)/(1-eps); a
+// quantile reported from a bucket's geometric interior is within eps of the
+// true sample quantile. Values in [0, 1] share the first bucket (sub-unit
+// values are below the resolution anyone asks of a latency histogram in µs or
+// ns); values beyond the configured maximum clamp into the last bucket.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   []uint64
+	logGamma float64
+	gamma    float64
+
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram builds a histogram resolving quantiles within eps relative
+// error over the value range [1, maxValue] (same unit as the observations).
+// eps outside (0, 0.5) defaults to 1%; maxValue below gamma is raised to it.
+func NewHistogram(eps, maxValue float64) *Histogram {
+	if eps <= 0 || eps >= 0.5 {
+		eps = 0.01
+	}
+	gamma := (1 + eps) / (1 - eps)
+	logGamma := math.Log(gamma)
+	if maxValue < gamma {
+		maxValue = gamma
+	}
+	buckets := int(math.Ceil(math.Log(maxValue)/logGamma)) + 1
+	return &Histogram{
+		counts:   make([]uint64, buckets),
+		logGamma: logGamma,
+		gamma:    gamma,
+		min:      math.Inf(1),
+	}
+}
+
+// bucket maps a value to its bucket index, clamping at both ends.
+func (h *Histogram) bucket(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Log(v) / h.logGamma)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// value returns the representative value of a bucket: the midpoint of its
+// (gamma^i, gamma^(i+1)] range, which bounds the relative error at eps.
+func (h *Histogram) value(i int) float64 {
+	if i == 0 {
+		return 1
+	}
+	return math.Pow(h.gamma, float64(i)) * (1 + h.gamma) / 2
+}
+
+// Observe records one value. Negative values count as zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[h.bucket(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in microseconds — the unit the serving
+// and load-harness latency figures share.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Microsecond))
+}
+
+// HistogramSnapshot is a point-in-time quantile summary of a Histogram.
+// Count/Mean/Min/Max are exact; the quantiles carry the histogram's relative
+// error.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot summarises the histogram. Quantiles use the nearest-rank rule over
+// the bucket counts; the extreme ranks are clamped to the exact observed
+// min/max so an eps-wide bucket never reports a tail beyond reality.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Count: h.count,
+		Mean:  h.sum / float64(h.count),
+		Min:   h.min,
+		Max:   h.max,
+	}
+	qs := [...]struct {
+		p   float64
+		dst *float64
+	}{
+		{0.50, &snap.P50},
+		{0.95, &snap.P95},
+		{0.99, &snap.P99},
+		{0.999, &snap.P999},
+	}
+	for i := range qs {
+		*qs[i].dst = h.quantileLocked(qs[i].p)
+	}
+	return snap
+}
+
+// quantileLocked returns the p-quantile by nearest rank. Callers hold h.mu.
+func (h *Histogram) quantileLocked(p float64) float64 {
+	rank := uint64(math.Ceil(p * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := h.value(i)
+			// Clamp into the exactly tracked range: the first and last
+			// occupied buckets contain min and max respectively.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Quantile returns the p-quantile of the observations so far (0 when empty);
+// p is clamped to [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.quantileLocked(p)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// String renders a compact one-line summary for logs.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.P999, s.Max)
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0.01, 1e9)
+	if snap := h.Snapshot(); snap != (HistogramSnapshot{}) {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks every reported quantile lands within
+// the configured relative error of the exact sample quantile, across three
+// shapes (uniform, exponential tail, bimodal).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const eps = 0.01
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]func() float64{
+		"uniform":     func() float64 { return 1 + 9999*rng.Float64() },
+		"exponential": func() float64 { return 100 * rng.ExpFloat64() },
+		"bimodal": func() float64 {
+			if rng.Intn(10) == 0 {
+				return 50000 + 1000*rng.Float64() // the overloaded tail
+			}
+			return 200 + 50*rng.Float64()
+		},
+	}
+	for name, draw := range shapes {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram(eps, 1e9)
+			samples := make([]float64, 20000)
+			for i := range samples {
+				samples[i] = draw()
+				h.Observe(samples[i])
+			}
+			sort.Float64s(samples)
+			for _, p := range []float64{0.5, 0.95, 0.99, 0.999} {
+				rank := int(math.Ceil(p*float64(len(samples)))) - 1
+				exact := samples[rank]
+				got := h.Quantile(p)
+				if relErr := math.Abs(got-exact) / exact; relErr > 2*eps {
+					t.Errorf("p%v: got %v, exact %v (rel err %.4f > %.4f)", p*100, got, exact, relErr, 2*eps)
+				}
+			}
+			snap := h.Snapshot()
+			if snap.Count != 20000 {
+				t.Errorf("count = %d", snap.Count)
+			}
+			if snap.Min != samples[0] || snap.Max != samples[len(samples)-1] {
+				t.Errorf("min/max = %v/%v, want %v/%v", snap.Min, snap.Max, samples[0], samples[len(samples)-1])
+			}
+			if snap.P50 > snap.P95 || snap.P95 > snap.P99 || snap.P99 > snap.P999 || snap.P999 > snap.Max {
+				t.Errorf("quantiles not monotone: %+v", snap)
+			}
+		})
+	}
+}
+
+// TestHistogramBounds checks the clamping edges: sub-unit and negative values
+// share the first bucket, values beyond the configured max land in the last
+// bucket, and tail quantiles never exceed the exact observed max.
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram(0.01, 1000)
+	h.Observe(-5)
+	h.Observe(0.25)
+	h.Observe(1e12) // far beyond maxValue: clamps, exact max still tracked
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Errorf("count = %d", snap.Count)
+	}
+	if snap.Min != 0 {
+		t.Errorf("min = %v, want 0 (negative clamps to zero)", snap.Min)
+	}
+	if snap.Max != 1e12 {
+		t.Errorf("max = %v", snap.Max)
+	}
+	if snap.P999 > snap.Max {
+		t.Errorf("p99.9 %v exceeds exact max %v", snap.P999, snap.Max)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(0.01, 1e9)
+	h.ObserveDuration(3 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Mean != 3000 {
+		t.Errorf("3ms observed as %v µs (snapshot %+v)", snap.Mean, snap)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// snapshotting (run under -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0.02, 1e7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(w*500 + i + 1))
+				if i%100 == 0 {
+					_ = h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}

@@ -47,34 +47,38 @@ func (r *Rolling) Observe(now time.Time, v float64) {
 type RollingSnapshot struct {
 	// Summary holds order statistics over the retained samples.
 	Summary Summary
-	// RatePerSec is retained-samples / retained-span — the observation
-	// rate (e.g. QPS) over the window. Zero with fewer than two samples.
+	// RatePerSec is the observation rate (e.g. QPS) over the retained
+	// window: (n-1) inter-arrival intervals divided by the oldest→newest
+	// sample span. Zero with fewer than two samples or a zero span.
 	RatePerSec float64
 	// Total is the lifetime observation count.
 	Total uint64
 }
 
-// Snapshot summarises the retained window. The rate uses the span from the
-// oldest retained sample to `now`.
+// Snapshot summarises the retained window. n samples delimit n-1 intervals,
+// so the rate is (n-1) over the oldest→newest span — dividing n by the
+// oldest→now span (the previous behaviour) overstated the rate for small n
+// and made it depend on when the snapshot was taken.
 func (r *Rolling) Snapshot(now time.Time) RollingSnapshot {
 	r.mu.Lock()
 	n := r.n
 	vals := make([]float64, n)
-	var oldest time.Time
+	var oldest, newest time.Time
 	if n > 0 {
 		start := (r.head - n + len(r.vals)) % len(r.vals)
 		for i := 0; i < n; i++ {
 			vals[i] = r.vals[(start+i)%len(r.vals)]
 		}
 		oldest = r.times[start]
+		newest = r.times[(start+n-1)%len(r.vals)]
 	}
 	total := r.total
 	r.mu.Unlock()
 
 	snap := RollingSnapshot{Summary: Summarize(vals), Total: total}
 	if n >= 2 {
-		if span := now.Sub(oldest).Seconds(); span > 0 {
-			snap.RatePerSec = float64(n) / span
+		if span := newest.Sub(oldest).Seconds(); span > 0 {
+			snap.RatePerSec = float64(n-1) / span
 		}
 	}
 	return snap

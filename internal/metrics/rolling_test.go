@@ -20,7 +20,7 @@ func TestRollingBasics(t *testing.T) {
 	if snap.Summary.Count != 4 || snap.Summary.Min != 1 || snap.Summary.Max != 4 {
 		t.Errorf("snapshot = %+v", snap.Summary)
 	}
-	// 4 samples over a 4s span (oldest at t=0, now t=4).
+	// 4 samples delimit 3 intervals over the 3s oldest→newest span.
 	if snap.RatePerSec != 1 {
 		t.Errorf("rate = %v, want 1", snap.RatePerSec)
 	}
@@ -45,6 +45,33 @@ func TestRollingWraparound(t *testing.T) {
 	}
 	if snap.RatePerSec <= 0 {
 		t.Errorf("rate = %v", snap.RatePerSec)
+	}
+}
+
+// TestRollingRateSmallN pins the rate estimate for small sample counts: n
+// samples delimit n-1 intervals, so two samples 1s apart are exactly 1/s —
+// not 2 divided by however long ago the oldest sample is, which both
+// overstated the rate and made it drift with the snapshot time.
+func TestRollingRateSmallN(t *testing.T) {
+	r := NewRolling(8)
+	base := time.Unix(50, 0)
+	r.Observe(base, 1)
+	r.Observe(base.Add(time.Second), 2)
+	for _, lag := range []time.Duration{0, time.Second, 10 * time.Second} {
+		if got := r.Snapshot(base.Add(time.Second + lag)).RatePerSec; got != 1 {
+			t.Errorf("2 samples 1s apart, snapshot +%v: rate = %v, want exactly 1", lag, got)
+		}
+	}
+	// A third sample 500ms later: 2 intervals over 1.5s = 4/3 per second.
+	r.Observe(base.Add(1500*time.Millisecond), 3)
+	if got, want := r.Snapshot(base.Add(time.Minute)).RatePerSec, 2/1.5; got != want {
+		t.Errorf("3 samples over 1.5s: rate = %v, want exactly %v", got, want)
+	}
+	// A single sample has no interval to estimate from.
+	one := NewRolling(4)
+	one.Observe(base, 9)
+	if got := one.Snapshot(base.Add(time.Second)).RatePerSec; got != 0 {
+		t.Errorf("1 sample: rate = %v, want 0", got)
 	}
 }
 

@@ -78,6 +78,15 @@ type Options struct {
 	MaxBatch int
 	// Deliver receives every completed batch. Required.
 	Deliver Deliver
+	// Prepare, when set, runs on the gather stage immediately before a
+	// plane is filled: it receives the batch payload and the plane's query
+	// headers and returns the queries still worth serving (it may filter
+	// the slice in place). Returning an empty slice skips the plane's
+	// datapath work entirely; Deliver is not called for such a plane. The
+	// serving layer uses this as its deadline-drop hook — the last
+	// admission point before gather work is committed, after any time the
+	// batch spent blocked waiting for a free plane.
+	Prepare func(payload interface{}, queries []embedding.Query) []embedding.Query
 	// StatsWindow is the number of recent batches retained for the
 	// per-stage service-time and completion-interval statistics.
 	// Default 512.
@@ -266,11 +275,21 @@ func (x *Executor) Close() error {
 }
 
 // gatherLoop drives stage 1: the channel-parallel batched gather into the
-// plane's fixed-point feature rows.
+// plane's fixed-point feature rows. The Prepare hook runs first — this is
+// the moment the plane's work is committed, so it is where a deadline-aware
+// server sheds requests no longer worth gathering. A plane Prepare empties
+// still traverses the ring (token discipline) but skips every engine call.
 func (x *Executor) gatherLoop() {
 	defer x.wg.Done()
 	defer close(x.denseQ)
 	for p := range x.gatherQ {
+		if x.opts.Prepare != nil {
+			p.queries = x.opts.Prepare(p.payload, p.queries)
+		}
+		if len(p.queries) == 0 {
+			x.denseQ <- p
+			continue
+		}
 		t0 := time.Now()
 		x.eng.GatherIntoPlane(p.queries, &p.scratch)
 		x.stages[stageGather].record(time.Now(), time.Since(t0))
@@ -283,6 +302,10 @@ func (x *Executor) denseLoop() {
 	defer x.wg.Done()
 	defer close(x.tailQ)
 	for p := range x.denseQ {
+		if len(p.queries) == 0 {
+			x.tailQ <- p
+			continue
+		}
 		t0 := time.Now()
 		x.eng.DenseFromPlane(len(p.queries), &p.scratch)
 		x.stages[stageDense].record(time.Now(), time.Since(t0))
@@ -296,6 +319,11 @@ func (x *Executor) tailLoop() {
 	defer x.wg.Done()
 	for p := range x.tailQ {
 		b := len(p.queries)
+		if b == 0 {
+			p.payload = nil
+			x.free <- p
+			continue
+		}
 		t0 := time.Now()
 		x.eng.TailFromPlane(b, &p.scratch, p.preds[:b])
 		now := time.Now()
@@ -400,6 +428,39 @@ func (x *Executor) Snapshot() Snapshot {
 	snap.MeasuredIntervalUS = x.interval.Snapshot(now).Summary.Mean / 1e3
 	snap.PredictedIntervalUS = PredictIntervalNS(meansNS, x.opts.Depth) / 1e3
 	return snap
+}
+
+// MeanBatchServiceNS returns the lifetime mean plane service time — the sum
+// over stages of busy time per served batch — or 0 before any stage has
+// served one. Built on the stages' lock-free counters, it is cheap enough
+// for the serving layer to call per batch as the deadline-drop headroom: a
+// request whose deadline lands within one mean service of now cannot finish
+// in time, so starting its gather only manufactures a late answer.
+func (x *Executor) MeanBatchServiceNS() float64 {
+	var total float64
+	for i := range x.stages {
+		n := x.stages[i].batches.Load()
+		if n == 0 {
+			return 0
+		}
+		total += float64(x.stages[i].busyNS.Load()) / float64(n)
+	}
+	return total
+}
+
+// PredictedIntervalNS returns pipesim's steady-state initiation interval for
+// the executor's current rolling mean stage service times and ring depth — 0
+// until every stage has served a batch. This is the figure the serving
+// admission layer converts into a capacity (knee) estimate and a Retry-After
+// hint: one interval is the time until a shedding server frees its next
+// queue slot.
+func (x *Executor) PredictedIntervalNS() float64 {
+	now := time.Now()
+	meansNS := make([]float64, numStages)
+	for i := range x.stages {
+		meansNS[i] = x.stages[i].service.Snapshot(now).Summary.Mean
+	}
+	return PredictIntervalNS(meansNS, x.opts.Depth)
 }
 
 // PredictIntervalNS runs pipesim over a linear pipeline whose stages have the

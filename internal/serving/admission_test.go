@@ -1,0 +1,453 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+)
+
+// slowEngine is a deterministic Engine fake whose dense stage (and monolithic
+// batch path) sleeps a fixed service time per batch. Overload tests saturate
+// the bounded queue against it without depending on host speed; predictions
+// are the query's first index so results stay checkable.
+type slowEngine struct {
+	service time.Duration
+	batches atomic.Uint64 // batches that reached the datapath
+	served  atomic.Uint64 // queries that reached the datapath
+}
+
+func (e *slowEngine) ValidateQuery(q embedding.Query) error {
+	if len(q) == 0 {
+		return errors.New("slowEngine: empty query")
+	}
+	return nil
+}
+
+func (e *slowEngine) EnsurePlane(s *core.BatchScratch, b int) {}
+
+func (e *slowEngine) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratch) {}
+
+func (e *slowEngine) DenseFromPlane(b int, s *core.BatchScratch) {
+	time.Sleep(e.service)
+}
+
+func (e *slowEngine) TailFromPlane(b int, s *core.BatchScratch, dst []float32) {
+	e.batches.Add(1)
+	e.served.Add(uint64(b))
+	for i := range dst[:b] {
+		dst[i] = 0.5
+	}
+}
+
+func (e *slowEngine) InferBatchValidated(queries []embedding.Query, dst []float32, s *core.BatchScratch) ([]float32, error) {
+	time.Sleep(e.service)
+	e.batches.Add(1)
+	e.served.Add(uint64(len(queries)))
+	for i := range queries {
+		dst[i] = 0.5
+	}
+	return dst[:len(queries)], nil
+}
+
+func (e *slowEngine) TimingAt(items int, lookupNS float64) (core.TimingReport, error) {
+	ns := float64(e.service.Nanoseconds())
+	return core.TimingReport{Items: items, LatencyNS: ns, MakespanNS: ns, LookupNS: lookupNS}, nil
+}
+
+func (e *slowEngine) LookupNS() float64                { return 1000 }
+func (e *slowEngine) EffectiveLookupNS() float64       { return 1000 }
+func (e *slowEngine) HotCacheHitRate() (float64, bool) { return 0, false }
+func (e *slowEngine) HotCache() (core.HotCacheInfo, bool) {
+	return core.HotCacheInfo{}, false
+}
+
+var slowQuery = embedding.Query{[]int64{1}}
+
+// TestShedUnderOverload saturates a tiny bounded queue against a slow engine
+// and checks the shed path: ErrOverloaded fails fast (well under the service
+// time), the shed counter matches the failures, and every admitted request
+// still completes. Deterministic: the burst arrives in microseconds while
+// the drain needs tens of milliseconds per batch, so the queue must fill.
+func TestShedUnderOverload(t *testing.T) {
+	eng := &slowEngine{service: 20 * time.Millisecond}
+	srv := newServer(t, eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1,
+		QueueDepth: 2, PipelineDepth: 2, Shed: true,
+	})
+	const burst = 64
+	var (
+		wg       sync.WaitGroup
+		admitted atomic.Uint64
+		shed     atomic.Uint64
+		slowShed atomic.Uint64
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := srv.Submit(context.Background(), slowQuery)
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				shed.Add(1)
+				// "Fast" relative to the 20ms service time; generous bound
+				// for scheduler noise.
+				if time.Since(t0) > 5*time.Millisecond {
+					slowShed.Add(1)
+				}
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("64-query burst into a depth-2 queue at 20ms/batch shed nothing")
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no request admitted")
+	}
+	if admitted.Load()+shed.Load() != burst {
+		t.Errorf("admitted %d + shed %d != %d", admitted.Load(), shed.Load(), burst)
+	}
+	if slowShed.Load() > 0 {
+		t.Errorf("%d sheds took longer than 5ms — the shed path must not block", slowShed.Load())
+	}
+	st := srv.Stats()
+	if st.Admission.Shed != shed.Load() {
+		t.Errorf("stats shed = %d, submitters saw %d", st.Admission.Shed, shed.Load())
+	}
+	if !st.Admission.Shedding || st.Admission.QueueCapacity != 2 {
+		t.Errorf("admission stats = %+v", st.Admission)
+	}
+	// Every query the engine served corresponds to an admitted submitter.
+	if eng.served.Load() != uint64(admitted.Load()) {
+		t.Errorf("engine served %d queries, %d admitted", eng.served.Load(), admitted.Load())
+	}
+}
+
+// TestShedNoDroppedAcceptedOnClose races Close against a shedding burst:
+// every Submit must resolve as served, shed, or closed — none may hang, and
+// no accepted request may be silently dropped.
+func TestShedNoDroppedAcceptedOnClose(t *testing.T) {
+	eng := &slowEngine{service: 5 * time.Millisecond}
+	srv, err := New(eng, Options{
+		MaxBatch: 2, Window: 100 * time.Microsecond, Workers: 1,
+		QueueDepth: 4, PipelineDepth: 2, Shed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg                   sync.WaitGroup
+		ok, shed, closedErrs atomic.Uint64
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				_, err := srv.Submit(context.Background(), slowQuery)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				case errors.Is(err, ErrServerClosed):
+					closedErrs.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	time.Sleep(3 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Error("no request served before close")
+	}
+	// Every admitted request reached the engine: accepted-but-dropped would
+	// show up as ok < served… or as a hung Submit, which wg.Wait catches.
+	if eng.served.Load() != ok.Load() {
+		t.Errorf("engine served %d, %d submitters got results", eng.served.Load(), ok.Load())
+	}
+	if _, err := srv.Submit(context.Background(), slowQuery); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("submit after close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestDeadlineDropsSkipWork queues a wave behind a slow first batch with a
+// short SLA: requests whose deadline passes while queued must fail with
+// ErrExpired without reaching the engine, and the drops must be counted.
+func TestDeadlineDropsSkipWork(t *testing.T) {
+	eng := &slowEngine{service: 30 * time.Millisecond}
+	srv := newServer(t, eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1,
+		QueueDepth: 32, PipelineDepth: 2, SLA: 5 * time.Millisecond,
+	})
+	const wave = 12
+	var (
+		wg          sync.WaitGroup
+		ok, expired atomic.Uint64
+		otherErrs   atomic.Uint64
+	)
+	for i := 0; i < wave; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.Submit(context.Background(), slowQuery)
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrExpired):
+				expired.Add(1)
+			default:
+				otherErrs.Add(1)
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if expired.Load() == 0 {
+		t.Fatal("a 12-query wave at 30ms/batch with a 5ms SLA expired nothing")
+	}
+	st := srv.Stats()
+	// Work conservation: the engine served exactly the successes plus the
+	// late completions (requests in flight before the headroom estimate
+	// warmed); every other expiration was dropped before gather/GEMM.
+	if eng.served.Load() != ok.Load()+st.Admission.LateCompletions {
+		t.Errorf("engine served %d queries; %d succeeded + %d late — dropped requests burned work",
+			eng.served.Load(), ok.Load(), st.Admission.LateCompletions)
+	}
+	if st.Admission.DeadlineDrops+st.Admission.LateCompletions != expired.Load() {
+		t.Errorf("stats drops %d + late %d != %d submitter expirations",
+			st.Admission.DeadlineDrops, st.Admission.LateCompletions, expired.Load())
+	}
+	if st.Admission.DeadlineDrops == 0 {
+		t.Error("no request was dropped before service")
+	}
+	if st.Admission.SLAMS != 5 {
+		t.Errorf("stats SLA = %vms, want 5", st.Admission.SLAMS)
+	}
+}
+
+// TestCancelDropsSkipWork cancels waiters after enqueue and checks the batch
+// former skips them: the engine sees only the live request, and the drop is
+// counted as a cancellation, not a deadline expiry.
+func TestCancelDropsSkipWork(t *testing.T) {
+	eng := &slowEngine{service: 25 * time.Millisecond}
+	srv := newServer(t, eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1,
+		QueueDepth: 16, PipelineDepth: 2,
+	})
+	// Request 0 occupies the engine; a wave queues behind it and is
+	// cancelled while waiting. A few wave members may already have passed
+	// the plane-fill check when the cancel fires (one per plane, one in the
+	// dispatcher's hand) — the conservation law below pins that every other
+	// member was dropped without touching the engine.
+	var first sync.WaitGroup
+	first.Add(1)
+	go func() {
+		defer first.Done()
+		if _, err := srv.Submit(context.Background(), slowQuery); err != nil {
+			t.Errorf("head request: %v", err)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // head batch is in service
+	const wave = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	var waveWG sync.WaitGroup
+	for i := 0; i < wave; i++ {
+		waveWG.Add(1)
+		go func() {
+			defer waveWG.Done()
+			if _, err := srv.Submit(ctx, slowQuery); !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled waiter = %v, want context.Canceled", err)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // the wave is enqueued behind the head
+	cancel()
+	waveWG.Wait()
+	first.Wait()
+	// Wait for every wave member to be accounted for: dropped at plane-fill
+	// time or (if it slipped into a plane before the cancel) served.
+	deadline := time.Now().Add(5 * time.Second)
+	accounted := func() (drops, waveServed uint64) {
+		drops = srv.Stats().Admission.CancelDrops
+		waveServed = eng.served.Load() - 1 // minus the head request
+		return
+	}
+	for {
+		drops, waveServed := accounted()
+		if drops+waveServed >= wave || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := srv.Stats()
+	drops, waveServed := accounted()
+	if drops+waveServed != wave {
+		t.Errorf("cancel drops %d + served wave members %d != %d", drops, waveServed, wave)
+	}
+	if drops == 0 {
+		t.Error("no cancelled request was dropped at plane-fill time")
+	}
+	// At most one plane's worth plus the dispatcher's hand can slip through.
+	if waveServed > 3 {
+		t.Errorf("engine served %d cancelled wave members — the batch former is not checking contexts", waveServed)
+	}
+	if st.Admission.DeadlineDrops != 0 {
+		t.Errorf("deadline drops = %d, want 0 (these were cancellations)", st.Admission.DeadlineDrops)
+	}
+}
+
+// TestSubmitDoesNotHoldLockAcrossSend pins the Close-vs-backpressure
+// decoupling: with the queue full and no shed, Close must still complete
+// promptly (draining the blocked senders) instead of deadlocking behind a
+// reader that holds the lock across its blocking send.
+func TestSubmitDoesNotHoldLockAcrossSend(t *testing.T) {
+	eng := &slowEngine{service: 10 * time.Millisecond}
+	srv, err := New(eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1,
+		QueueDepth: 1, PipelineDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.Submit(context.Background(), slowQuery)
+			if err != nil && !errors.Is(err, ErrServerClosed) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // senders are blocked on the full queue
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not complete while submitters were blocked on a full queue")
+	}
+	wg.Wait()
+}
+
+// TestWorkerPoolDeadlineDrops runs the deadline-drop path through the
+// worker-pool drain too — both drain modes must skip expired work.
+func TestWorkerPoolDeadlineDrops(t *testing.T) {
+	eng := &slowEngine{service: 30 * time.Millisecond}
+	srv := newServer(t, eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1,
+		QueueDepth: 16, WorkerPool: true, SLA: 5 * time.Millisecond,
+	})
+	const wave = 10
+	var (
+		wg          sync.WaitGroup
+		ok, expired atomic.Uint64
+	)
+	for i := 0; i < wave; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.Submit(context.Background(), slowQuery)
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrExpired):
+				expired.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if expired.Load() == 0 {
+		t.Fatal("worker-pool drain expired nothing")
+	}
+	st := srv.Stats()
+	if eng.served.Load() != ok.Load()+st.Admission.LateCompletions {
+		t.Errorf("engine served %d; %d succeeded + %d late — dropped requests burned worker time",
+			eng.served.Load(), ok.Load(), st.Admission.LateCompletions)
+	}
+	if st.Admission.DeadlineDrops+st.Admission.LateCompletions != expired.Load() {
+		t.Errorf("stats drops %d + late %d != %d submitter expirations",
+			st.Admission.DeadlineDrops, st.Admission.LateCompletions, expired.Load())
+	}
+	if st.Admission.DeadlineDrops == 0 {
+		t.Error("no request was dropped before service")
+	}
+}
+
+// TestAdmissionOptionValidation covers the new option edges.
+func TestAdmissionOptionValidation(t *testing.T) {
+	if err := (Options{SLA: -time.Second}).withDefaults().Validate(); err == nil {
+		t.Error("negative SLA: want error")
+	}
+	// Shed with defaults is valid.
+	o := Options{Shed: true}.withDefaults()
+	if err := o.Validate(); err != nil {
+		t.Errorf("shed defaults: %v", err)
+	}
+	// A typed-nil *core.Engine must be rejected like an untyped nil.
+	if _, err := New((*core.Engine)(nil), Options{}); err == nil {
+		t.Error("typed-nil engine: want error")
+	}
+}
+
+// TestRetryAfterAndCapacity checks the knee estimate and backoff hint: both
+// come from the pipesim-predicted interval once the stages have measured
+// traffic, and the capacity estimate tracks the engine's actual service
+// rate within an order of magnitude (slow fake: 20ms dense stage → ~50
+// batches/s of capacity at MaxBatch 1).
+func TestRetryAfterAndCapacity(t *testing.T) {
+	eng := &slowEngine{service: 20 * time.Millisecond}
+	srv := newServer(t, eng, Options{
+		MaxBatch: 1, Window: 50 * time.Microsecond, Workers: 1, PipelineDepth: 2,
+	})
+	if got := srv.CapacityQPS(); got != 0 {
+		t.Errorf("capacity before traffic = %v, want 0", got)
+	}
+	// RetryAfter falls back to the fake's modeled makespan (20ms).
+	if ra := srv.RetryAfter(); ra != 20*time.Millisecond {
+		t.Errorf("cold retry-after = %v, want 20ms (modeled makespan)", ra)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Submit(context.Background(), slowQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cap := srv.CapacityQPS()
+	if cap <= 0 {
+		t.Fatal("capacity estimate still 0 after traffic")
+	}
+	// The dense stage alone dictates ≤50 batches/s; allow generous slack
+	// above for measurement noise, none below 10.
+	if cap < 10 || cap > 75 {
+		t.Errorf("capacity estimate %v qps implausible for a 20ms/batch engine", cap)
+	}
+	if ra := srv.RetryAfter(); ra < 15*time.Millisecond || ra > 100*time.Millisecond {
+		t.Errorf("warm retry-after = %v, want about one 20ms batch interval", ra)
+	}
+	if st := srv.Stats(); st.Admission.KneeQPS != cap && st.Admission.KneeQPS <= 0 {
+		t.Errorf("stats knee = %v", st.Admission.KneeQPS)
+	}
+}

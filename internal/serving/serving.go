@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microrec/internal/core"
@@ -43,6 +44,44 @@ var ErrServerClosed = errors.New("serving: server closed")
 // Submit — a client fault, as opposed to an engine failure during batch
 // service (a server fault).
 var ErrInvalidQuery = errors.New("serving: invalid query")
+
+// ErrOverloaded is the fast-fail shed path: Submit returns it immediately
+// when Options.Shed is set and the bounded submit queue is full. Callers
+// should back off for about Server.RetryAfter before retrying (the HTTP
+// layer maps this to 429 with a Retry-After header).
+var ErrOverloaded = errors.New("serving: overloaded, submit queue full")
+
+// ErrExpired resolves requests whose serving deadline (Options.SLA, or an
+// earlier context deadline) passed while they were still queued: the batch
+// former drops them at plane-fill time instead of spending gather and GEMM
+// cycles on an answer nobody is waiting for.
+var ErrExpired = errors.New("serving: deadline expired before service")
+
+// Engine is the slice of the inference engine the server drives: admission
+// validation, the monolithic batched datapath (worker-pool mode), the
+// stage-callable plane datapath (pipelined mode, via pipeline.StageEngine)
+// and the timing model behind SLA admission and per-batch reports.
+// *core.Engine implements it; overload tests substitute deterministic slow
+// engines to saturate the queue without depending on host speed.
+type Engine interface {
+	pipeline.StageEngine
+	// ValidateQuery checks a query's shape and index ranges at admission.
+	ValidateQuery(q embedding.Query) error
+	// InferBatchValidated runs the monolithic batched datapath on
+	// pre-validated queries (worker-pool mode).
+	InferBatchValidated(queries []embedding.Query, dst []float32, scratch *core.BatchScratch) ([]float32, error)
+	// TimingAt models a batch's accelerator timing at a lookup latency.
+	TimingAt(items int, lookupNS float64) (core.TimingReport, error)
+	// LookupNS is the plan's cache-cold embedding-lookup latency.
+	LookupNS() float64
+	// EffectiveLookupNS is the lookup latency at the current hot-row cache
+	// hit rate (equal to LookupNS without a cache).
+	EffectiveLookupNS() float64
+	// HotCacheHitRate reports the live cache's hit rate, if one is attached.
+	HotCacheHitRate() (float64, bool)
+	// HotCache snapshots the live cache, if one is attached.
+	HotCache() (core.HotCacheInfo, bool)
+}
 
 // Options configures a Server. The zero value gets sensible defaults.
 type Options struct {
@@ -73,6 +112,19 @@ type Options struct {
 	// stages. Minimum 2 (overlap needs two planes). Default 3 — one plane
 	// per stage. Ignored in worker-pool mode.
 	PipelineDepth int
+	// SLA, when positive, gives every request a serving deadline of SLA
+	// after its submit time (tightened by an earlier context deadline).
+	// Requests still queued when their deadline passes are dropped at
+	// batch-formation time — no gather or GEMM is spent on them — and fail
+	// with ErrExpired. Zero disables server-side deadlines; a request's own
+	// context deadline is still honoured at batch formation.
+	SLA time.Duration
+	// Shed makes Submit fail fast with ErrOverloaded when the submit queue
+	// is full, instead of blocking on backpressure — the admission-control
+	// posture for open-loop traffic, where blocking just moves the queue
+	// into the clients. Combine with QueueDepth to bound the worst-case
+	// queueing delay of every admitted request.
+	Shed bool
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -115,6 +167,9 @@ func (o Options) Validate() error {
 	if o.StatsWindow < 1 {
 		return fmt.Errorf("serving: stats window %d", o.StatsWindow)
 	}
+	if o.SLA < 0 {
+		return fmt.Errorf("serving: negative SLA %v", o.SLA)
+	}
 	if !o.WorkerPool && o.PipelineDepth < 2 {
 		return fmt.Errorf("serving: pipeline depth %d (need >= 2 planes; use WorkerPool for the flat drain)", o.PipelineDepth)
 	}
@@ -140,20 +195,48 @@ type outcome struct {
 }
 
 type request struct {
-	q    embedding.Query
-	enq  time.Time
-	done chan outcome // buffered(1): workers never block on abandoned waiters
+	q   embedding.Query
+	enq time.Time
+	// ctx is the submitter's context; the batch former consults it at
+	// plane-fill time so a request whose caller has already gone does not
+	// burn gather/GEMM cycles.
+	ctx context.Context
+	// deadline is the serving deadline (zero = none): the earlier of
+	// enq+Options.SLA and the context deadline.
+	deadline time.Time
+	done     chan outcome // buffered(1): workers never block on abandoned waiters
+}
+
+// expired returns the error a stale request resolves with at batch-formation
+// time, or nil while the request is still worth serving. cutoff is now plus
+// the expected service time: a request whose deadline lands before service
+// could complete is already a lost cause, so spending gather/GEMM on it only
+// manufactures a late answer.
+func (r *request) expired(cutoff time.Time) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if !r.deadline.IsZero() && cutoff.After(r.deadline) {
+		return ErrExpired
+	}
+	return nil
 }
 
 // Server coalesces concurrent Submit calls into micro-batches and drains
 // them through the staged pipeline executor (or, in fallback mode, a pool of
 // engine workers).
 type Server struct {
-	eng  *core.Engine
+	eng  Engine
 	opts Options
 
-	mu     sync.RWMutex // guards closed vs in-flight Submits
+	mu     sync.RWMutex // guards closed vs the admission gate below
 	closed bool
+	// accepting counts Submits that passed the closed check but have not
+	// finished their (potentially blocking) queue send. Close waits for it
+	// after flipping closed and before closing the submit channel, so the
+	// closed-check/send race resolves without any Submit holding a lock
+	// across a blocking send.
+	accepting sync.WaitGroup
 
 	submit  chan *request
 	batches chan []*request
@@ -161,6 +244,23 @@ type Server struct {
 	// worker-pool mode.
 	pipe *pipeline.Executor
 	wg   sync.WaitGroup
+
+	// Admission counters (see AdmissionStats).
+	shed          atomic.Uint64
+	deadlineDrops atomic.Uint64
+	cancelDrops   atomic.Uint64
+	late          atomic.Uint64
+
+	// Worker-pool-mode batch service meter (the pipelined drain meters its
+	// stages inside the executor instead): feeds the deadline-drop headroom.
+	wpServiceNS atomic.Int64
+	wpBatches   atomic.Uint64
+
+	// Cached pipesim prediction (see predictedIntervalNS): every shed 429's
+	// Retry-After reads it, so it must not cost a simulation per rejection.
+	predMu sync.Mutex // single-flight refresh
+	predNS atomic.Int64
+	predAt atomic.Int64 // unix nanos of the last successful refresh
 
 	latencyUS *metrics.Rolling // per-query wall latency, µs
 	occupancy *metrics.Rolling // dispatched batch sizes
@@ -181,10 +281,11 @@ type timingKey struct {
 
 const coldPct = -1
 
-// New starts a server around an engine. The returned server owns background
-// goroutines; callers must Close it.
-func New(eng *core.Engine, opts Options) (*Server, error) {
-	if eng == nil {
+// New starts a server around an engine (in production *core.Engine; the
+// Engine seam lets overload tests drive deterministic fakes). The returned
+// server owns background goroutines; callers must Close it.
+func New(eng Engine, opts Options) (*Server, error) {
+	if eng == nil || eng == Engine((*core.Engine)(nil)) {
 		return nil, fmt.Errorf("serving: nil engine")
 	}
 	opts = opts.withDefaults()
@@ -212,6 +313,7 @@ func New(eng *core.Engine, opts Options) (*Server, error) {
 		Depth:    opts.PipelineDepth,
 		MaxBatch: opts.MaxBatch,
 		Deliver:  s.deliver,
+		Prepare:  s.prepare,
 	})
 	if err != nil {
 		return nil, err
@@ -228,33 +330,71 @@ func (s *Server) Options() Options { return s.opts }
 
 // Submit enqueues one query and blocks until its micro-batch has been
 // served, the context is cancelled, or the server closes. Malformed queries
-// are rejected immediately without joining a batch.
+// are rejected immediately without joining a batch. With Options.Shed set it
+// instead fails fast with ErrOverloaded when the submit queue is full; with
+// a serving deadline (Options.SLA or a context deadline) it fails with
+// ErrExpired if the deadline passes before the request reaches a plane.
 func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) {
 	if err := s.eng.ValidateQuery(q); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
-	req := &request{q: q, enq: time.Now(), done: make(chan outcome, 1)}
-
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return Result{}, ErrServerClosed
+	req := &request{q: q, ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
+	if s.opts.SLA > 0 {
+		req.deadline = req.enq.Add(s.opts.SLA)
 	}
-	select {
-	case s.submit <- req:
-		s.mu.RUnlock()
-	case <-ctx.Done():
-		s.mu.RUnlock()
-		return Result{}, ctx.Err()
+	if d, ok := ctx.Deadline(); ok && (req.deadline.IsZero() || d.Before(req.deadline)) {
+		req.deadline = d
 	}
-
+	if err := s.enqueue(ctx, req); err != nil {
+		return Result{}, err
+	}
 	select {
 	case out := <-req.done:
+		if out.err == nil && !req.deadline.IsZero() && time.Now().After(req.deadline) {
+			// The batch completed, but past this request's deadline: the
+			// answer is late no matter how quickly the caller drains it.
+			// Deadline-aware dropping minimises these (the work was already
+			// spent); the counter tracks the residue.
+			s.late.Add(1)
+			return Result{}, ErrExpired
+		}
 		return out.res, out.err
 	case <-ctx.Done():
 		// The query is already in a batch; the buffered done channel lets
 		// the worker complete it without us.
 		return Result{}, ctx.Err()
+	}
+}
+
+// enqueue is the admission gate. The closed check and the in-flight
+// registration happen under a briefly held read lock; the potentially
+// blocking queue send happens outside any lock, so Close's write-lock
+// acquisition never couples to queue backpressure (it waits on the accepting
+// gate instead, which the still-running batcher is guaranteed to drain).
+func (s *Server) enqueue(ctx context.Context, req *request) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrServerClosed
+	}
+	s.accepting.Add(1)
+	s.mu.RUnlock()
+	defer s.accepting.Done()
+
+	if s.opts.Shed {
+		select {
+		case s.submit <- req:
+			return nil
+		default:
+			s.shed.Add(1)
+			return ErrOverloaded
+		}
+	}
+	select {
+	case s.submit <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -270,6 +410,11 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Every Submit that won admission before the flag flipped holds a slot
+	// in the accepting gate; the batcher keeps draining the queue until the
+	// gate empties, so those sends complete and no sender can touch the
+	// channel after it closes.
+	s.accepting.Wait()
 	close(s.submit)
 	// Batcher flushes and closes s.batches; the dispatcher (or workers)
 	// drains it. Only then may the executor close: every accepted batch has
@@ -351,30 +496,98 @@ func (s *Server) batcher() {
 	}
 }
 
+// serviceHeadroomNS estimates the time a batch entering service now still
+// needs to complete: the pipelined drain's lifetime mean plane service (sum
+// of stage means), or the worker pool's mean monolithic batch time. 0 until
+// traffic has measured it.
+func (s *Server) serviceHeadroomNS() float64 {
+	if s.pipe != nil {
+		return s.pipe.MeanBatchServiceNS()
+	}
+	n := s.wpBatches.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.wpServiceNS.Load()) / float64(n)
+}
+
+// resolveExpired classifies one request at service time: nil while it is
+// still worth serving; otherwise its future is resolved with the error, the
+// matching drop counter is bumped, and the error is returned. Shared by both
+// drain modes' plane-fill filters so drop semantics cannot diverge.
+func (s *Server) resolveExpired(r *request, cutoff time.Time) error {
+	err := r.expired(cutoff)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrExpired) {
+		s.deadlineDrops.Add(1)
+	} else {
+		s.cancelDrops.Add(1)
+	}
+	r.done <- outcome{err: err}
+	return err
+}
+
+// dropExpired filters a batch at plane-fill time: requests whose context was
+// cancelled after enqueue, or whose serving deadline cannot be met even if
+// service starts immediately (deadline before now + expected service), are
+// resolved with their error and counted — the gather and GEMM cycles they
+// would have occupied go to requests that can still answer in time. This is
+// the wasted-work fix the admission layer exists to exploit: under overload
+// the queue is exactly where stale requests accumulate.
+func (s *Server) dropExpired(batch []*request) []*request {
+	cutoff := time.Now().Add(time.Duration(s.serviceHeadroomNS()))
+	live := batch[:0]
+	for _, r := range batch {
+		if s.resolveExpired(r, cutoff) == nil {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
 // worker drains batches through the engine's monolithic blocked batch
 // datapath — the worker-pool fallback mode. Each worker owns a private
 // scratch; the engine itself is immutable and shared. Queries were validated
 // once at admission (Submit), so workers use the validated fast path and
-// skip the second shape/range pass.
+// skip the second shape/range pass. dropExpired runs right before service —
+// this drain has no later admission point.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var scratch core.BatchScratch
 	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
 	preds := make([]float32, s.opts.MaxBatch)
 	for batch := range s.batches {
+		batch = s.dropExpired(batch)
+		if len(batch) == 0 {
+			continue
+		}
 		queries = queries[:0]
 		for _, r := range batch {
 			queries = append(queries, r.q)
 		}
+		t0 := time.Now()
 		_, err := s.eng.InferBatchValidated(queries, preds[:len(batch)], &scratch)
+		s.wpServiceNS.Add(int64(time.Since(t0)))
+		s.wpBatches.Add(1)
 		s.complete(batch, preds[:len(batch)], err)
 	}
+}
+
+// planeBatch carries a batch through the pipeline executor. The Prepare hook
+// rewrites reqs when it drops expired requests, so the tail-stage Deliver
+// always sees exactly the requests whose queries were gathered.
+type planeBatch struct {
+	reqs []*request
 }
 
 // dispatcher drains formed batches into the pipeline executor — the default
 // pipelined mode. Submit copies the query headers onto a plane, so the local
 // buffer is reusable immediately; the batch itself rides through the stages
-// as the plane's payload and resurfaces in deliver.
+// as the plane's payload and resurfaces in deliver. Expiry is checked by the
+// prepare hook on the gather stage, not here: Submit can block waiting for a
+// free plane under backpressure, and requests keep aging through that wait.
 func (s *Server) dispatcher() {
 	defer s.wg.Done()
 	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
@@ -383,17 +596,39 @@ func (s *Server) dispatcher() {
 		for _, r := range batch {
 			queries = append(queries, r.q)
 		}
-		if err := s.pipe.Submit(queries, batch); err != nil {
+		pb := &planeBatch{reqs: batch}
+		if err := s.pipe.Submit(queries, pb); err != nil {
 			s.complete(batch, nil, err)
 		}
 	}
+}
+
+// prepare is the executor's gather-stage admission hook: the last moment
+// before a plane's work is committed. It drops expired requests from the
+// batch and filters the plane's query headers in lockstep — batch[i] and
+// queries[i] are index-aligned by construction (the dispatcher built one
+// from the other, and the executor copies queries in order) — so preds
+// indices in deliver stay aligned with the surviving requests.
+func (s *Server) prepare(payload interface{}, queries []embedding.Query) []embedding.Query {
+	pb := payload.(*planeBatch)
+	cutoff := time.Now().Add(time.Duration(s.serviceHeadroomNS()))
+	live := pb.reqs[:0]
+	kept := queries[:0]
+	for i, r := range pb.reqs {
+		if s.resolveExpired(r, cutoff) == nil {
+			live = append(live, r)
+			kept = append(kept, queries[i])
+		}
+	}
+	pb.reqs = live
+	return kept
 }
 
 // deliver receives completed batches on the executor's tail stage. preds is
 // plane-owned and only valid during the call; complete resolves every future
 // synchronously (buffered done channels), so nothing outlives it.
 func (s *Server) deliver(payload interface{}, preds []float32) {
-	s.complete(payload.([]*request), preds, nil)
+	s.complete(payload.(*planeBatch).reqs, preds, nil)
 }
 
 // complete finishes one batch: the per-batch timing report, serving metrics,
@@ -489,6 +724,38 @@ type HotCacheStats struct {
 // the measured vs pipesim-predicted steady-state initiation interval.
 type PipelineStats = pipeline.Snapshot
 
+// AdmissionStats is the /stats view of the admission gate: current queue
+// pressure, the shed and drop counters, and the server's own estimate of its
+// knee — the offered load beyond which it starts shedding.
+type AdmissionStats struct {
+	// QueueDepth is the submit queue's current occupancy; QueueCapacity is
+	// its bound (Options.QueueDepth).
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Shedding reports whether the fast-fail shed path is enabled.
+	Shedding bool `json:"shedding"`
+	// SLAMS is the per-request serving deadline in ms (0 = none).
+	SLAMS float64 `json:"sla_ms,omitempty"`
+	// Shed counts Submits fast-failed with ErrOverloaded (queue full).
+	Shed uint64 `json:"shed"`
+	// DeadlineDrops counts requests dropped at plane-fill time because
+	// their serving deadline could not be met; CancelDrops counts those
+	// dropped because their context was cancelled after enqueue. Neither
+	// spent any gather or GEMM cycles.
+	DeadlineDrops uint64 `json:"deadline_drops"`
+	CancelDrops   uint64 `json:"cancel_drops"`
+	// LateCompletions counts requests that were served but whose batch
+	// completed after their deadline — work the deadline-aware dropper
+	// failed to save (its headroom estimate lagged). They fail with
+	// ErrExpired like drops, but their gather/GEMM cycles were spent.
+	LateCompletions uint64 `json:"late_completions"`
+	// KneeQPS is the current capacity estimate (see Server.CapacityQPS);
+	// 0 until the pipelined drain has measured its stages.
+	KneeQPS float64 `json:"knee_qps"`
+	// RetryAfterMS is the backoff hint handed to shed clients.
+	RetryAfterMS float64 `json:"retry_after_ms"`
+}
+
 // Stats is a point-in-time view of the server's rolling serving statistics.
 type Stats struct {
 	// Configuration echo. Mode is "pipeline" or "worker-pool".
@@ -504,6 +771,9 @@ type Stats struct {
 	LatencyUS      LatencySummary `json:"latency_us"`
 	MeanBatch      float64        `json:"mean_batch"`
 	BatchOccupancy float64        `json:"batch_occupancy"`
+	// Admission reports the admission gate: queue pressure, shed and
+	// deadline-drop counters, and the knee estimate.
+	Admission AdmissionStats `json:"admission"`
 	// Pipeline reports the staged executor when the server runs the
 	// pipelined drain (nil in worker-pool mode).
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
@@ -541,6 +811,18 @@ func (s *Server) Stats() Stats {
 			Max:  lat.Summary.Max,
 		},
 		MeanBatch: occ.Summary.Mean,
+		Admission: AdmissionStats{
+			QueueDepth:      len(s.submit),
+			QueueCapacity:   s.opts.QueueDepth,
+			Shedding:        s.opts.Shed,
+			SLAMS:           float64(s.opts.SLA) / float64(time.Millisecond),
+			Shed:            s.shed.Load(),
+			DeadlineDrops:   s.deadlineDrops.Load(),
+			CancelDrops:     s.cancelDrops.Load(),
+			LateCompletions: s.late.Load(),
+			KneeQPS:         s.CapacityQPS(),
+			RetryAfterMS:    float64(s.RetryAfter()) / float64(time.Millisecond),
+		},
 	}
 	if s.pipe != nil {
 		snap := s.pipe.Snapshot()
@@ -562,6 +844,69 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// predictedTTL bounds how often the pipesim prediction is recomputed: the
+// figure feeds every shed response's Retry-After and the /stats knee
+// estimate, and one recompute runs a discrete-event simulation plus
+// per-stage window sorts under the stage meters' locks — far too heavy to
+// pay per rejection during a shed storm, which is exactly when it is read
+// the most.
+const predictedTTL = 250 * time.Millisecond
+
+// predictedIntervalNS returns the pipelined drain's pipesim-predicted
+// steady-state batch interval, cached for predictedTTL with a single-flight
+// refresh. 0 in worker-pool mode and until every stage has served traffic
+// (warm-up recomputes are cheap: the simulator is skipped while any stage
+// window is empty).
+func (s *Server) predictedIntervalNS() float64 {
+	if s.pipe == nil {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	if cached := s.predNS.Load(); cached > 0 && now-s.predAt.Load() < int64(predictedTTL) {
+		return float64(cached)
+	}
+	if !s.predMu.TryLock() {
+		// Another goroutine is refreshing; serve the stale value.
+		return float64(s.predNS.Load())
+	}
+	defer s.predMu.Unlock()
+	ns := s.pipe.PredictedIntervalNS()
+	if ns > 0 {
+		s.predNS.Store(int64(ns))
+		s.predAt.Store(now)
+	}
+	return ns
+}
+
+// CapacityQPS estimates the server's steady-state serving capacity — the
+// knee the open-loop load harness measures — as MaxBatch queries per
+// steady-state batch interval, where the interval is pipesim's predicted
+// initiation interval over the pipelined drain's measured stage service
+// times. It returns 0 until every stage has served traffic, and always in
+// worker-pool mode (which has no stage meters to feed the simulator).
+func (s *Server) CapacityQPS() float64 {
+	ns := s.predictedIntervalNS()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(s.opts.MaxBatch) * 1e9 / ns
+}
+
+// RetryAfter is the backoff hint a shedding server hands rejected clients:
+// one pipesim-predicted steady-state batch interval — the time until the
+// drain frees the next queue slot. Before any traffic has measured the
+// stages (or in worker-pool mode) it falls back to the timing model's
+// cache-cold full-batch makespan, and to 1ms if even that is unavailable.
+func (s *Server) RetryAfter() time.Duration {
+	if ns := s.predictedIntervalNS(); ns > 0 {
+		return time.Duration(ns)
+	}
+	if rep, err := s.coldTiming(s.opts.MaxBatch); err == nil && rep.MakespanNS > 0 {
+		return time.Duration(rep.MakespanNS)
+	}
+	return time.Millisecond
 }
 
 // ValidateSLA checks the server's batching window against a tail-latency

@@ -53,7 +53,7 @@ func randomQueries(t testing.TB, spec *model.Spec, n int, seed int64) []embeddin
 	return qs
 }
 
-func newServer(t testing.TB, eng *core.Engine, opts Options) *Server {
+func newServer(t testing.TB, eng Engine, opts Options) *Server {
 	t.Helper()
 	s, err := New(eng, opts)
 	if err != nil {

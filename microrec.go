@@ -18,7 +18,12 @@
 //     drained through a staged pipeline executor whose gather, dense-GEMM
 //     and tail stages overlap over a ring of in-flight batch planes — the
 //     software analogue of the paper's pipelined dataflow (§4.1) — with a
-//     flat engine worker pool as a fallback mode (NewServer).
+//     flat engine worker pool as a fallback mode (NewServer), plus
+//     overload protection: a bounded submit queue with fast-fail shedding
+//     and deadline-aware batch formation (ServerOptions.Shed/SLA), and
+//   - the open-loop load harness (RunLoad, SweepLoad): Poisson and
+//     trace-driven arrival processes that drive the server past saturation
+//     and locate the knee — the highest offered rate meeting the tail SLA.
 //
 // Quick start:
 //
@@ -36,12 +41,15 @@ package microrec
 
 import (
 	"fmt"
+	"time"
 
 	"microrec/internal/core"
 	"microrec/internal/cpu"
 	"microrec/internal/embedding"
 	"microrec/internal/fixedpoint"
+	"microrec/internal/loadgen"
 	"microrec/internal/memsim"
+	"microrec/internal/metrics"
 	"microrec/internal/model"
 	"microrec/internal/placement"
 	"microrec/internal/serving"
@@ -108,6 +116,26 @@ type (
 	// HotCacheInfo is a snapshot of an engine's live hot-row cache
 	// (Engine.HotCache).
 	HotCacheInfo = core.HotCacheInfo
+	// AdmissionStats is the /stats view of the admission gate: queue
+	// pressure, shed/drop counters and the knee (capacity) estimate.
+	AdmissionStats = serving.AdmissionStats
+	// Arrivals is an open-loop arrival process (inter-arrival gaps) for
+	// the load harness.
+	Arrivals = loadgen.Arrivals
+	// LoadOptions configures one open-loop load run (RunLoad).
+	LoadOptions = loadgen.Options
+	// LoadResult summarises one open-loop run: admitted/shed/expired
+	// counts, goodput and latency histograms.
+	LoadResult = loadgen.Result
+	// LoadSweepOptions configures a load sweep (SweepLoad).
+	LoadSweepOptions = loadgen.SweepOptions
+	// LoadSweepResult is a full sweep: per-level results plus the knee.
+	LoadSweepResult = loadgen.SweepResult
+	// LoadPoint is one sweep level's offered rate and result.
+	LoadPoint = loadgen.Point
+	// LatencyHistogram is a quantile summary recovered from a log-bucketed
+	// histogram (p50/p95/p99/p99.9 without storing samples).
+	LatencyHistogram = metrics.HistogramSnapshot
 )
 
 // ErrServerClosed is returned by Server.Submit after Server.Close.
@@ -116,6 +144,16 @@ var ErrServerClosed = serving.ErrServerClosed
 // ErrInvalidQuery wraps queries rejected by Server.Submit's validation (a
 // client fault, as opposed to an engine failure during batch service).
 var ErrInvalidQuery = serving.ErrInvalidQuery
+
+// ErrOverloaded is Server.Submit's fast-fail shed response when
+// ServerOptions.Shed is set and the bounded submit queue is full (HTTP 429
+// with a Retry-After hint on /predict).
+var ErrOverloaded = serving.ErrOverloaded
+
+// ErrExpired resolves requests whose serving deadline (ServerOptions.SLA or
+// an earlier context deadline) passed before service: dropped at plane-fill
+// time without spending gather/GEMM work, or completed too late to matter.
+var ErrExpired = serving.ErrExpired
 
 // Workload distributions.
 const (
@@ -267,4 +305,31 @@ func NewServer(eng *Engine, opts ServerOptions) (*Server, error) {
 // NewGenerator builds a deterministic workload generator.
 func NewGenerator(spec *Spec, dist workload.Distribution, seed int64) (*Generator, error) {
 	return workload.NewGenerator(spec, dist, seed)
+}
+
+// NewPoissonArrivals builds a deterministic open-loop Poisson arrival
+// process offering `qps` requests per second.
+func NewPoissonArrivals(qps float64, seed int64) (Arrivals, error) {
+	return loadgen.NewPoisson(qps, seed)
+}
+
+// NewTraceArrivals builds an arrival process replaying recorded
+// inter-arrival gaps, cycling when exhausted.
+func NewTraceArrivals(gaps []time.Duration) (Arrivals, error) {
+	return loadgen.NewTrace(gaps)
+}
+
+// RunLoad drives one open-loop load run against a server: requests fire on
+// the arrival process's schedule regardless of completions (the measurement
+// discipline under which overload and tail collapse are actually visible),
+// each bounded by the SLA as its context deadline.
+func RunLoad(srv *Server, queries []Query, arr Arrivals, opts LoadOptions) (LoadResult, error) {
+	return loadgen.Run(srv, queries, arr, opts)
+}
+
+// SweepLoad runs one open-loop run per load level and locates the knee: the
+// highest offered rate whose admitted p99 still meets the SLA with losses
+// within tolerance. `microrec loadtest` is a CLI wrapper around this.
+func SweepLoad(srv *Server, queries []Query, opts LoadSweepOptions) (LoadSweepResult, error) {
+	return loadgen.Sweep(srv, queries, opts)
 }
