@@ -1,9 +1,18 @@
 GO ?= go
+# Scratch dir for CI-shaped bench runs, so `make benchdiff` never overwrites
+# the committed BENCH_*.json baselines.
+BENCH_SCRATCH ?= /tmp/microrec-bench
 
-.PHONY: build test race bench bench-json loadtest-json bench-smoke ci
+.PHONY: build vet fmt-check test race bench bench-json loadtest-json bench-smoke benchdiff ci
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt required on:"; echo "$$out"; exit 1; fi
 
 test: build
 	$(GO) test ./...
@@ -31,5 +40,14 @@ loadtest-json:
 bench-smoke:
 	$(GO) test -run xxx -bench 'Gather|Serve|EngineInferOne|Pipeline' -benchtime 1x -benchmem .
 
-# ci is the one-command tier-1 + race check.
-ci: build test race bench-smoke
+# benchdiff is the bench-regression gate: regenerate a smoke-scale serve
+# bench into the scratch dir and fail if ns/query regressed >25% against the
+# committed baseline at any batch size (exactly the CI step).
+benchdiff:
+	mkdir -p $(BENCH_SCRATCH)
+	$(GO) run ./cmd/microrec bench -n 512 -o $(BENCH_SCRATCH)/BENCH_serve.json
+	$(GO) run ./cmd/microrec benchdiff -baseline BENCH_serve.json -candidate $(BENCH_SCRATCH)/BENCH_serve.json
+
+# ci mirrors the CI job sequence locally (lint job + test job, one leg), so a
+# red CI reproduces in one command.
+ci: build vet fmt-check test race bench-smoke benchdiff

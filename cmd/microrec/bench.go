@@ -30,9 +30,11 @@ type benchResult struct {
 // benchReport is the JSON document `microrec bench` emits (BENCH_serve.json
 // via `make bench-json`), tracking the serving perf trajectory across PRs.
 type benchReport struct {
-	Benchmark  string        `json:"benchmark"`
-	Model      string        `json:"model"`
-	Mode       string        `json:"mode"`
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Mode      string `json:"mode"`
+	// Shards is the scatter/gather tier's shard count (1 = single engine).
+	Shards     int           `json:"shards"`
 	Queries    int           `json:"queries_per_batch_size"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Timestamp  string        `json:"timestamp"`
@@ -136,11 +138,15 @@ func cmdBench(args []string) error {
 	batches := fs.String("batches", "1,16,64", "comma-separated micro-batch sizes")
 	workerPool := fs.Bool("worker-pool", false, "bench the worker-pool drain instead of the staged pipeline")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
+	shards := fs.Int("shards", 1, "gather shards of the scatter/gather tier (1 = single engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n < 4 {
 		return fmt.Errorf("bench: -n must be >= 4 (got %d)", *n)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("bench: -shards must be >= 1 (got %d)", *shards)
 	}
 	sizes, err := parseBatchList(*batches)
 	if err != nil {
@@ -167,6 +173,7 @@ func cmdBench(args []string) error {
 		Benchmark:  "serve",
 		Model:      spec.Name,
 		Mode:       "pipeline",
+		Shards:     *shards,
 		Queries:    *n,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -175,9 +182,16 @@ func cmdBench(args []string) error {
 		Window:        200 * time.Microsecond,
 		WorkerPool:    *workerPool,
 		PipelineDepth: *pipelineDepth,
+		Shards:        *shards,
 	}
 	if *workerPool {
 		rep.Mode = "worker-pool"
+	}
+	// With -o - the JSON document owns stdout; progress goes to stderr so
+	// the output stays machine-parseable (CI pipes it straight into jq).
+	progress := os.Stdout
+	if *out == "-" {
+		progress = os.Stderr
 	}
 	for _, b := range sizes {
 		res, err := benchServe(eng, qs, b, *n, opts)
@@ -185,7 +199,7 @@ func cmdBench(args []string) error {
 			return fmt.Errorf("bench: batch %d: %w", b, err)
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("batch %3d: %10.0f ns/query  %9.0f queries/s  (mean batch %.1f)\n",
+		fmt.Fprintf(progress, "batch %3d: %10.0f ns/query  %9.0f queries/s  (mean batch %.1f)\n",
 			b, res.NSPerQuery, res.QueriesPerSec, res.MeanBatch)
 	}
 

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchdiff is the CI bench-regression gate: it compares a freshly generated
+// BENCH_serve.json against the committed baseline and fails (exit non-zero)
+// when ns_per_query regresses beyond the tolerance at any batch size present
+// in both documents. The tolerance defaults to 25% — wide enough for shared
+// CI runners' noise, tight enough to catch a real datapath regression —
+// and improvements of any size pass.
+
+// loadBenchReport reads and decodes one bench JSON document.
+func loadBenchReport(path string) (benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if rep.Benchmark != "serve" {
+		return benchReport{}, fmt.Errorf("benchdiff: %s holds benchmark %q, want \"serve\"", path, rep.Benchmark)
+	}
+	if len(rep.Results) == 0 {
+		return benchReport{}, fmt.Errorf("benchdiff: %s has no results", path)
+	}
+	return rep, nil
+}
+
+// diffBench compares candidate against baseline, returning one line per
+// shared batch size and an error naming every regression beyond tol (a
+// fraction: 0.25 = +25% ns/query).
+func diffBench(baseline, candidate benchReport, tol float64) (lines []string, err error) {
+	base := make(map[int]benchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Batch] = r
+	}
+	var regressions []string
+	shared := 0
+	for _, c := range candidate.Results {
+		b, ok := base[c.Batch]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("batch %3d: no baseline entry, skipped", c.Batch))
+			continue
+		}
+		shared++
+		if b.NSPerQuery <= 0 {
+			return nil, fmt.Errorf("benchdiff: baseline batch %d has ns_per_query %v", b.Batch, b.NSPerQuery)
+		}
+		if c.NSPerQuery <= 0 {
+			// A zero candidate is a broken measurement, not a miraculous
+			// speedup; letting it through would green-light garbage forever.
+			return nil, fmt.Errorf("benchdiff: candidate batch %d has ns_per_query %v", c.Batch, c.NSPerQuery)
+		}
+		delta := c.NSPerQuery/b.NSPerQuery - 1
+		verdict := "ok"
+		if delta > tol {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("batch %d: %.0f -> %.0f ns/query (%+.1f%% > %+.1f%% tolerance)",
+					c.Batch, b.NSPerQuery, c.NSPerQuery, delta*100, tol*100))
+		}
+		lines = append(lines, fmt.Sprintf("batch %3d: %10.0f -> %10.0f ns/query  %+7.1f%%  %s",
+			c.Batch, b.NSPerQuery, c.NSPerQuery, delta*100, verdict))
+	}
+	if shared == 0 {
+		return nil, fmt.Errorf("benchdiff: baseline and candidate share no batch sizes")
+	}
+	if len(regressions) > 0 {
+		return lines, fmt.Errorf("benchdiff: %d regression(s): %v", len(regressions), regressions)
+	}
+	return lines, nil
+}
+
+func cmdBenchdiff(args []string) error {
+	fs := newFlagSet("benchdiff")
+	baseline := fs.String("baseline", "BENCH_serve.json", "committed baseline bench JSON")
+	candidate := fs.String("candidate", "", "freshly generated bench JSON to judge (required)")
+	tol := fs.Float64("tol", 0.25, "allowed ns_per_query regression fraction before failing (0.25 = +25%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *candidate == "" {
+		return fmt.Errorf("benchdiff: -candidate is required")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("benchdiff: -tol must be >= 0 (got %v)", *tol)
+	}
+	baseRep, err := loadBenchReport(*baseline)
+	if err != nil {
+		return err
+	}
+	candRep, err := loadBenchReport(*candidate)
+	if err != nil {
+		return err
+	}
+	if baseRep.Mode != candRep.Mode || baseRep.Model != candRep.Model || baseRep.Shards != candRep.Shards {
+		fmt.Printf("note: comparing %s/%s/%d-shard candidate against %s/%s/%d-shard baseline\n",
+			candRep.Model, candRep.Mode, candRep.Shards, baseRep.Model, baseRep.Mode, baseRep.Shards)
+	}
+	lines, err := diffBench(baseRep, candRep, *tol)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	return err
+}

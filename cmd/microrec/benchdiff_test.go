@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchJSON(t *testing.T, dir, name string, rep benchReport) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func serveReport(ns map[int]float64) benchReport {
+	rep := benchReport{Benchmark: "serve", Model: "production-small", Mode: "pipeline", Shards: 1}
+	for _, b := range []int{1, 16, 64} {
+		if v, ok := ns[b]; ok {
+			rep.Results = append(rep.Results, benchResult{Batch: b, NSPerQuery: v})
+		}
+	}
+	return rep
+}
+
+// TestBenchdiffGate drives the regression gate across its verdicts: within
+// tolerance passes (including improvements), beyond tolerance fails naming
+// the batch size, and disjoint batch sets are an error rather than a silent
+// pass.
+func TestBenchdiffGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", serveReport(map[int]float64{1: 1000, 16: 500, 64: 300}))
+
+	// +20% at every size: inside the 25% tolerance.
+	ok := writeBenchJSON(t, dir, "ok.json", serveReport(map[int]float64{1: 1200, 16: 600, 64: 360}))
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", ok}); err != nil {
+		t.Fatalf("+20%% failed the 25%% gate: %v", err)
+	}
+
+	// A 2x improvement passes any tolerance.
+	fast := writeBenchJSON(t, dir, "fast.json", serveReport(map[int]float64{1: 500, 16: 250, 64: 150}))
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", fast}); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+
+	// +50% at one batch size only: the gate fails and names it.
+	bad := writeBenchJSON(t, dir, "bad.json", serveReport(map[int]float64{1: 1000, 16: 750, 64: 300}))
+	err := cmdBenchdiff([]string{"-baseline", base, "-candidate", bad})
+	if err == nil {
+		t.Fatal("+50%% at batch 16 passed the 25%% gate")
+	}
+	if !strings.Contains(err.Error(), "batch 16") {
+		t.Fatalf("regression error does not name the batch size: %v", err)
+	}
+
+	// Tightening the tolerance flips the +20% run to a failure.
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", ok, "-tol", "0.1"}); err == nil {
+		t.Fatal("+20%% passed a 10%% gate")
+	}
+
+	// No shared batch sizes: an error, not a vacuous pass.
+	disjoint := writeBenchJSON(t, dir, "disjoint.json", benchReport{
+		Benchmark: "serve",
+		Results:   []benchResult{{Batch: 8, NSPerQuery: 100}},
+	})
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", disjoint}); err == nil {
+		t.Fatal("disjoint batch sets passed")
+	}
+}
+
+// TestBenchdiffArgumentContract covers the error paths: missing candidate,
+// unreadable or non-serve documents.
+func TestBenchdiffArgumentContract(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", serveReport(map[int]float64{1: 1000}))
+	if err := cmdBenchdiff([]string{"-baseline", base}); err == nil {
+		t.Fatal("missing -candidate accepted")
+	}
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", filepath.Join(dir, "absent.json")}); err == nil {
+		t.Fatal("absent candidate accepted")
+	}
+	wrong := writeBenchJSON(t, dir, "wrong.json", benchReport{Benchmark: "loadtest", Results: []benchResult{{Batch: 1, NSPerQuery: 1}}})
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", wrong}); err == nil {
+		t.Fatal("non-serve benchmark accepted")
+	}
+	empty := writeBenchJSON(t, dir, "empty.json", benchReport{Benchmark: "serve"})
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", empty}); err == nil {
+		t.Fatal("empty results accepted")
+	}
+}
+
+// TestBenchdiffRejectsZeroCandidate pins the broken-measurement guard: a
+// candidate with ns_per_query <= 0 is an error, not a -100% "improvement".
+func TestBenchdiffRejectsZeroCandidate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", serveReport(map[int]float64{1: 1000}))
+	zero := writeBenchJSON(t, dir, "zero.json", serveReport(map[int]float64{1: 0}))
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", zero}); err == nil {
+		t.Fatal("zero candidate ns_per_query passed the gate")
+	}
+}

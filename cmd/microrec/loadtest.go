@@ -18,13 +18,15 @@ import (
 // it is judged against — the overload-behaviour trajectory across PRs, next
 // to BENCH_serve.json's throughput trajectory.
 type loadtestReport struct {
-	Benchmark       string  `json:"benchmark"`
-	Model           string  `json:"model"`
-	SLAMS           float64 `json:"sla_ms"`
-	MaxBatch        int     `json:"max_batch"`
-	WindowUS        float64 `json:"window_us"`
-	QueueDepth      int     `json:"queue_depth"`
-	PipelineDepth   int     `json:"pipeline_depth"`
+	Benchmark     string  `json:"benchmark"`
+	Model         string  `json:"model"`
+	SLAMS         float64 `json:"sla_ms"`
+	MaxBatch      int     `json:"max_batch"`
+	WindowUS      float64 `json:"window_us"`
+	QueueDepth    int     `json:"queue_depth"`
+	PipelineDepth int     `json:"pipeline_depth"`
+	// Shards is the scatter/gather tier's shard count (1 = single engine).
+	Shards          int     `json:"shards"`
 	RequestsPerLoad int     `json:"requests_per_load"`
 	Tolerance       float64 `json:"tolerance"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
@@ -69,6 +71,7 @@ func cmdLoadtest(args []string) error {
 	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
 	queue := fs.Int("queue", 64, "submit queue depth (0 = 4x batch); bounds every admitted request's queueing delay")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
+	shards := fs.Int("shards", 1, "gather shards of the scatter/gather tier (1 = single engine)")
 	tol := fs.Float64("tol", 0.01, "loss fraction (shed+expired) still counted as meeting the SLA")
 	zipf := fs.Bool("zipf", true, "Zipfian query skew (false = uniform)")
 	seed := fs.Int64("seed", 21, "deterministic arrival + workload seed")
@@ -86,6 +89,9 @@ func cmdLoadtest(args []string) error {
 	}
 	if *queue < 0 {
 		return fmt.Errorf("loadtest: -queue must be >= 0 (got %d)", *queue)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("loadtest: -shards must be >= 1 (got %d)", *shards)
 	}
 	var ladder []float64
 	if *loads != "auto" {
@@ -112,6 +118,7 @@ func cmdLoadtest(args []string) error {
 		PipelineDepth: *pipelineDepth,
 		Shed:          true,
 		SLA:           *slaBudget,
+		Shards:        *shards,
 	})
 	if err != nil {
 		return err
@@ -131,6 +138,12 @@ func cmdLoadtest(args []string) error {
 		qs[i] = gen.Next()
 	}
 
+	// With -o - the JSON document owns stdout; progress and the per-level
+	// table go to stderr so the output stays machine-parseable.
+	progress := os.Stdout
+	if *out == "-" {
+		progress = os.Stderr
+	}
 	rep := loadtestReport{
 		Benchmark:       "loadtest",
 		Model:           spec.Name,
@@ -139,6 +152,7 @@ func cmdLoadtest(args []string) error {
 		WindowUS:        float64(*window) / float64(time.Microsecond),
 		QueueDepth:      srv.Options().QueueDepth,
 		PipelineDepth:   *pipelineDepth,
+		Shards:          *shards,
 		RequestsPerLoad: *n,
 		Tolerance:       *tol,
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
@@ -160,7 +174,7 @@ func cmdLoadtest(args []string) error {
 			return fmt.Errorf("loadtest: calibration admitted nothing (SLA %v too tight for this host?)", *slaBudget)
 		}
 		rep.CalibratedQPS = calib.AdmittedQPS
-		fmt.Printf("calibrated saturation goodput: %.0f qps (admitted %d / offered %d)\n",
+		fmt.Fprintf(progress, "calibrated saturation goodput: %.0f qps (admitted %d / offered %d)\n",
 			calib.AdmittedQPS, calib.Admitted, calib.Offered)
 		for _, f := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5} {
 			ladder = append(ladder, f*calib.AdmittedQPS)
@@ -182,18 +196,18 @@ func cmdLoadtest(args []string) error {
 	rep.PredictedCapacityQPS = srv.CapacityQPS()
 	rep.Admission = srv.Stats().Admission
 
-	fmt.Printf("\n%-12s %-12s %-10s %-10s %-10s %-8s %-8s %s\n",
+	fmt.Fprintf(progress, "\n%-12s %-12s %-10s %-10s %-10s %-8s %-8s %s\n",
 		"offered-qps", "goodput-qps", "p50-us", "p99-us", "shed-p99", "shed", "expired", "SLA")
 	for _, p := range sweep.Points {
 		verdict := "MISS"
 		if p.MeetsSLA(*slaBudget, *tol) {
 			verdict = "meets"
 		}
-		fmt.Printf("%-12.0f %-12.0f %-10.0f %-10.0f %-10.0f %-8d %-8d %s\n",
+		fmt.Fprintf(progress, "%-12.0f %-12.0f %-10.0f %-10.0f %-10.0f %-8d %-8d %s\n",
 			p.TargetQPS, p.AdmittedQPS, p.AdmittedLatencyUS.P50, p.AdmittedLatencyUS.P99,
 			p.ShedLatencyUS.P99, p.Shed, p.Expired, verdict)
 	}
-	fmt.Printf("\nknee: %.0f qps meeting the %v SLA (pipesim-predicted capacity %.0f qps)\n",
+	fmt.Fprintf(progress, "\nknee: %.0f qps meeting the %v SLA (pipesim-predicted capacity %.0f qps)\n",
 		rep.KneeQPS, *slaBudget, rep.PredictedCapacityQPS)
 
 	doc, err := json.MarshalIndent(rep, "", "  ")

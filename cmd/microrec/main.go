@@ -10,6 +10,7 @@
 //	microrec serve -addr :8080 -model small       HTTP inference server
 //	microrec bench -o BENCH_serve.json            serving perf per batch size
 //	microrec loadtest -sla 25ms                   open-loop sweep: knee + tail under overload
+//	microrec benchdiff -candidate new.json        bench-regression gate vs the committed baseline
 //	microrec list                                 list available experiments
 package main
 
@@ -48,6 +49,8 @@ func run(args []string) error {
 		return cmdBench(args[1:])
 	case "loadtest":
 		return cmdLoadtest(args[1:])
+	case "benchdiff":
+		return cmdBenchdiff(args[1:])
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -70,6 +73,8 @@ commands:
   bench            measure serving ns/query per batch size, emit JSON
   loadtest         open-loop load sweep: find the knee (max qps meeting the
                    SLA), drive past it, emit BENCH_loadtest.json
+  benchdiff        compare a fresh bench JSON against the committed baseline,
+                   fail on ns/query regressions beyond the tolerance (CI gate)
   trace            export a chrome://tracing pipeline trace
   spec             print a model specification
   list             list available experiments

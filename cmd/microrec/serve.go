@@ -131,7 +131,8 @@ func cmdServe(args []string) error {
 	slaBudget := fs.Duration("sla", 0, "tail-latency budget: validates the window at startup and becomes each request's serving deadline (expired requests are dropped before gather/GEMM; 0 = skip)")
 	queue := fs.Int("queue", 0, "submit queue depth (0 = 4x batch); with -shed this bounds every admitted request's queueing delay")
 	shed := fs.Bool("shed", false, "fail fast with 429 + Retry-After when the submit queue is full, instead of blocking on backpressure")
-	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off); hit rate and effective lookup latency appear in /stats")
+	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off; with -shards, split across per-shard caches); hit rate and effective lookup latency appear in /stats")
+	shards := fs.Int("shards", 1, "gather shards of the scatter/gather serving tier (1 = single engine); per-shard occupancy, merge-wait and imbalance appear in /stats.cluster")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,6 +159,9 @@ func cmdServe(args []string) error {
 	if *slaBudget < 0 {
 		return fmt.Errorf("serve: -sla must be >= 0 (got %v)", *slaBudget)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards must be >= 1 (got %d)", *shards)
+	}
 	spec, _, err := specByName(*modelName)
 	if err != nil {
 		return err
@@ -179,6 +183,7 @@ func cmdServe(args []string) error {
 		QueueDepth:    *queue,
 		Shed:          *shed,
 		SLA:           *slaBudget,
+		Shards:        *shards,
 	})
 	if err != nil {
 		return err
@@ -209,6 +214,9 @@ func cmdServe(args []string) error {
 	drainNote := fmt.Sprintf("pipelined drain, %d planes", *pipelineDepth)
 	if *workerPool {
 		drainNote = fmt.Sprintf("worker pool, %d workers", *workers)
+	}
+	if *shards > 1 {
+		drainNote += fmt.Sprintf(", %d gather shards", *shards)
 	}
 	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %s%s — POST /predict, GET /model, GET /stats, GET /healthz",
 		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, drainNote, cacheNote)

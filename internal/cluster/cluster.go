@@ -1,0 +1,556 @@
+// Package cluster implements the sharded serving tier: the model's embedding
+// tables are partitioned across N gather shards (balanced by the placement
+// plan's LPT shard assignment), each admitted micro-batch is scattered to
+// every shard, each shard gathers its table subset into a shard-local partial
+// plane, and the coordinator merges the partials' feature columns into one
+// plane before the FC stack runs once. Physical tables write disjoint feature
+// columns, so the merged plane — and therefore every prediction — is
+// bit-identical to the single-engine InferBatch by construction.
+//
+// This is MicroRec's channel-parallelism argument applied one level up:
+// inside one engine the placement plan spreads tables across memory banks so
+// lookups resolve in parallel; across the tier, ShardTables spreads the same
+// tables across engine shards so each shard's gather is a fraction of the
+// whole, and the tier's lookup latency is the slowest shard's (max over
+// shards), not the sum. The fan-out/fan-in plane protocol — scatter the
+// query headers, gather partial planes, merge column spans — is the seam a
+// future multi-node backend replaces with RPC while keeping the coordinator
+// unchanged.
+//
+//	            ┌─► shard 0: gather tables₀ ─► partial plane ─┐
+//	micro-batch ├─► shard 1: gather tables₁ ─► partial plane ─┼─► merge ─► dense GEMM ─► tail
+//	 (scatter)  └─► shard 2: gather tables₂ ─► partial plane ─┘  (fan-in, straggler-timed)
+//
+// A Cluster implements the serving layer's Engine seam (and therefore
+// pipeline.StageEngine), so the micro-batcher, the staged pipeline executor,
+// SLA admission and the overload layer all drive a sharded tier exactly as
+// they drive a single engine — GatherIntoPlane is simply the scatter/gather
+// round. SLA admission stays conservative automatically: LookupNS reports the
+// max-over-shards cold lookup latency.
+//
+// Each shard owns a pipeline.PlaneRing of pre-allocated partial planes and a
+// per-shard hot-row cache, and the coordinator merges partials in completion
+// order, so a fast shard's columns land while stragglers still gather; the
+// merge-wait histogram (last minus first shard completion) and the per-batch
+// imbalance ratio (max/mean shard service) quantify how balanced the
+// partition really is under live traffic.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/hotcache"
+	"microrec/internal/metrics"
+	"microrec/internal/pipeline"
+	"microrec/internal/placement"
+)
+
+// Options configures a Cluster. The zero value of every field but Shards gets
+// a sensible default.
+type Options struct {
+	// Shards is the requested shard count (>= 1). The effective count is
+	// capped at the engine's physical table count; Shards == 1 still runs
+	// the scatter/gather protocol over one shard (useful for testing the
+	// protocol, but NewServer callers should prefer the plain engine).
+	Shards int
+	// MaxBatch is the partial-plane capacity — the largest micro-batch one
+	// scatter/gather round carries. Default 64.
+	MaxBatch int
+	// RingDepth is each shard's partial-plane ring size: the bound on that
+	// shard's outstanding partials (a shard can gather for the next
+	// in-flight batch while the coordinator still merges its previous one).
+	// Default 2.
+	RingDepth int
+	// HotCacheBytes is the tier's total hot-row cache capacity, split evenly
+	// across shards (each shard caches only its own tables' rows). 0 inherits
+	// the engine's Config().HotCacheBytes; negative disables caching.
+	HotCacheBytes int64
+	// StatsWindow is the number of recent batches retained for the rolling
+	// per-shard service statistics. Default 512.
+	StatsWindow int
+}
+
+// withDefaults returns o with zero fields replaced by defaults.
+func (o Options) withDefaults(eng *core.Engine) Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.RingDepth == 0 {
+		o.RingDepth = 2
+	}
+	if o.StatsWindow == 0 {
+		o.StatsWindow = 512
+	}
+	if o.HotCacheBytes == 0 {
+		o.HotCacheBytes = eng.Config().HotCacheBytes
+	}
+	return o
+}
+
+// Validate checks the options after defaulting.
+func (o Options) Validate() error {
+	if o.Shards < 1 {
+		return fmt.Errorf("cluster: shard count %d (want >= 1)", o.Shards)
+	}
+	if o.MaxBatch < 1 {
+		return fmt.Errorf("cluster: max batch %d", o.MaxBatch)
+	}
+	if o.RingDepth < 1 {
+		return fmt.Errorf("cluster: ring depth %d", o.RingDepth)
+	}
+	if o.StatsWindow < 1 {
+		return fmt.Errorf("cluster: stats window %d", o.StatsWindow)
+	}
+	return nil
+}
+
+// scatterTask is one micro-batch's work order for one shard.
+type scatterTask struct {
+	queries []embedding.Query
+	done    chan<- shardDone
+}
+
+// shardDone is a shard's completion report: the filled partial plane, the
+// gather service time, and when the gather finished (stamped on the shard
+// worker, so the coordinator's merge cost never inflates straggler metrics).
+type shardDone struct {
+	sh        *shard
+	plane     *core.BatchScratch
+	serviceNS int64
+	doneAt    time.Time
+}
+
+// shard is one gather replica: a disjoint physical-table subset, the feature
+// columns those tables write, a ring of partial planes, and an optional
+// private hot-row cache over its own tables' access streams.
+type shard struct {
+	id     int
+	tables []int
+	spans  []core.ColSpan
+	coldNS float64 // modeled per-inference lookup latency of this subset
+	cache  *hotcache.Live
+	ring   *pipeline.PlaneRing
+	tasks  chan scatterTask
+
+	batches atomic.Uint64
+	busyNS  atomic.Int64
+	service *metrics.Rolling // per-batch gather service time, ns
+}
+
+// Cluster is the sharded tier's coordinator. It implements the serving
+// layer's Engine seam over a single built *core.Engine: the FC stack, the
+// timing model and validation delegate to the engine; only the gather is
+// scattered. The engine stays immutable and shared — shards are views onto
+// its storage, not copies — so the tier costs planes and caches, not a second
+// parameter image.
+type Cluster struct {
+	eng      *core.Engine
+	opts     Options
+	shards   []*shard
+	coldNS   float64 // max over shards: the tier's cold lookup bound
+	hitScale float64
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	batches     atomic.Uint64
+	mergeWaitUS *metrics.Histogram
+	imbalance   *metrics.Rolling
+}
+
+// New partitions the engine's physical tables with placement.ShardTables and
+// starts one gather worker per shard. The returned cluster owns background
+// goroutines; callers must Close it after all inference calls have returned
+// (a serving.Server created with Options.Shards does this itself).
+func New(eng *core.Engine, opts Options) (*Cluster, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("cluster: nil engine")
+	}
+	opts = opts.withDefaults(eng)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	parts, err := placement.ShardTables(eng.Plan(), opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		eng:      eng,
+		opts:     opts,
+		hitScale: eng.CacheHitScale(),
+		// Merge waits span sub-µs (balanced shards) to ms (stragglers under
+		// contention); 1% relative error over [1, 10s] in µs.
+		mergeWaitUS: metrics.NewHistogram(0.01, 1e7),
+		imbalance:   metrics.NewRolling(opts.StatsWindow),
+	}
+	cacheTotal := opts.HotCacheBytes
+	if cacheTotal < 0 {
+		cacheTotal = 0
+	}
+	perShardCache := cacheTotal / int64(len(parts))
+	for i, tables := range parts {
+		spans, err := eng.PartialSpans(tables)
+		if err != nil {
+			return nil, err
+		}
+		coldNS, err := eng.Plan().SubsetLatencyNS(tables)
+		if err != nil {
+			return nil, err
+		}
+		ring, err := pipeline.NewPlaneRing(eng, opts.RingDepth, opts.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			id:      i,
+			tables:  tables,
+			spans:   spans,
+			coldNS:  coldNS,
+			ring:    ring,
+			tasks:   make(chan scatterTask, opts.RingDepth),
+			service: metrics.NewRolling(opts.StatsWindow),
+		}
+		if perShardCache > 0 {
+			live, err := hotcache.NewLive(perShardCache, 0)
+			if err != nil {
+				return nil, err
+			}
+			sh.cache = live
+		}
+		if coldNS > c.coldNS {
+			c.coldNS = coldNS
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.wg.Add(len(c.shards))
+	for _, sh := range c.shards {
+		go c.shardWorker(sh)
+	}
+	return c, nil
+}
+
+// Shards reports the effective shard count (requested, capped at the
+// engine's physical table count).
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Options returns the cluster's effective (defaulted) options.
+func (c *Cluster) Options() Options { return c.opts }
+
+// Close stops the shard workers. It must be called after every in-flight
+// inference has returned: GatherIntoPlane has no error path, so a
+// scatter/gather round racing Close would panic on the closed task channels.
+// The serving layer guarantees this ordering (executor drained first). It is
+// idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		close(sh.tasks)
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// shardWorker serves one shard's scatter tasks in order: acquire a partial
+// plane from the shard's ring (the token bound on outstanding partials),
+// gather the shard's table subset, report completion. The plane returns to
+// the ring only after the coordinator has merged it.
+func (c *Cluster) shardWorker(sh *shard) {
+	defer c.wg.Done()
+	for t := range sh.tasks {
+		p := sh.ring.Acquire()
+		t0 := time.Now()
+		c.eng.GatherPartialIntoPlane(sh.tables, t.queries, p, sh.cache)
+		now := time.Now()
+		d := now.Sub(t0)
+		sh.batches.Add(1)
+		sh.busyNS.Add(int64(d))
+		sh.service.Observe(now, float64(d))
+		t.done <- shardDone{sh: sh, plane: p, serviceNS: int64(d), doneAt: now}
+	}
+}
+
+// ---- serving.Engine / pipeline.StageEngine ----
+
+// ValidateQuery delegates admission validation to the engine.
+func (c *Cluster) ValidateQuery(q embedding.Query) error { return c.eng.ValidateQuery(q) }
+
+// EnsurePlane sizes a coordinator plane via the engine.
+func (c *Cluster) EnsurePlane(s *core.BatchScratch, b int) { c.eng.EnsurePlane(s, b) }
+
+// GatherIntoPlane is the scatter/gather round: fan the batch out to every
+// shard, zero the coordinator plane's dense tail while the shards gather,
+// then merge each partial's feature columns as it completes — fast shards'
+// columns land while stragglers still gather. The merged plane is
+// bit-identical to the engine's monolithic gather: every value was produced
+// by the same quantize loop over the same tables, and the spans of a
+// partition exactly cover the embedding region. Queries must have passed
+// ValidateQuery and the plane must be sized for len(queries) (the
+// StageEngine contract).
+func (c *Cluster) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratch) {
+	b := len(queries)
+	done := make(chan shardDone, len(c.shards))
+	for _, sh := range c.shards {
+		sh.tasks <- scatterTask{queries: queries, done: done}
+	}
+	c.eng.ZeroDenseTail(b, s)
+	var (
+		firstAt, lastAt time.Time
+		maxNS, sumNS    int64
+	)
+	for range c.shards {
+		d := <-done
+		// Straggler accounting uses the workers' own completion stamps:
+		// receives interleave with merges below, so receive-side clocks
+		// would charge coordinator merge cost to "waiting on stragglers".
+		if firstAt.IsZero() || d.doneAt.Before(firstAt) {
+			firstAt = d.doneAt
+		}
+		if d.doneAt.After(lastAt) {
+			lastAt = d.doneAt
+		}
+		c.eng.MergePartialPlane(b, d.sh.spans, d.plane, s)
+		d.sh.ring.Release(d.plane)
+		if d.serviceNS > maxNS {
+			maxNS = d.serviceNS
+		}
+		sumNS += d.serviceNS
+	}
+	c.batches.Add(1)
+	c.mergeWaitUS.Observe(float64(lastAt.Sub(firstAt)) / float64(time.Microsecond))
+	if sumNS > 0 {
+		c.imbalance.Observe(lastAt, float64(maxNS)*float64(len(c.shards))/float64(sumNS))
+	}
+}
+
+// DenseFromPlane runs the hidden FC tower on the merged plane — once, on the
+// coordinator, exactly as the single engine would.
+func (c *Cluster) DenseFromPlane(b int, s *core.BatchScratch) { c.eng.DenseFromPlane(b, s) }
+
+// TailFromPlane runs the output layer + sigmoid on the merged plane.
+func (c *Cluster) TailFromPlane(b int, s *core.BatchScratch, dst []float32) {
+	c.eng.TailFromPlane(b, s, dst)
+}
+
+// InferBatchValidated runs the monolithic sharded datapath on pre-validated
+// queries: scatter/gather/merge, then the FC stack — the worker-pool drain's
+// entry point, and the serial composition the pipelined stages overlap.
+func (c *Cluster) InferBatchValidated(queries []embedding.Query, dst []float32, scratch *core.BatchScratch) ([]float32, error) {
+	b := len(queries)
+	if b == 0 {
+		return nil, fmt.Errorf("cluster: no queries")
+	}
+	if b > c.opts.MaxBatch {
+		return nil, fmt.Errorf("cluster: batch %d exceeds plane capacity %d", b, c.opts.MaxBatch)
+	}
+	if dst == nil {
+		dst = make([]float32, b)
+	} else if len(dst) != b {
+		return nil, fmt.Errorf("cluster: dst length %d, want %d", len(dst), b)
+	}
+	if scratch == nil {
+		scratch = &core.BatchScratch{}
+	}
+	c.eng.EnsurePlane(scratch, b)
+	c.GatherIntoPlane(queries, scratch)
+	c.eng.DenseFromPlane(b, scratch)
+	c.eng.TailFromPlane(b, scratch, dst)
+	return dst, nil
+}
+
+// InferBatch validates every query, then runs the sharded datapath. Returns
+// an error after Close.
+func (c *Cluster) InferBatch(queries []embedding.Query, dst []float32, scratch *core.BatchScratch) ([]float32, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	for i, q := range queries {
+		if err := c.eng.ValidateQuery(q); err != nil {
+			return nil, fmt.Errorf("cluster: query %d: %w", i, err)
+		}
+	}
+	return c.InferBatchValidated(queries, dst, scratch)
+}
+
+// TimingAt delegates to the engine's timing model: the FC pipeline is the
+// engine's, and the caller pins the lookup stage (SLA admission passes
+// LookupNS — the max-over-shards bound).
+func (c *Cluster) TimingAt(items int, lookupNS float64) (core.TimingReport, error) {
+	return c.eng.TimingAt(items, lookupNS)
+}
+
+// LookupNS is the tier's cache-cold lookup latency: the slowest shard's
+// modeled subset latency. Shards gather in parallel, so the tier waits for
+// the straggler — max over shards, never the sum — and each shard's figure is
+// at most the single engine's (removing tables never slows a bank). SLA
+// admission uses this bound, so sharded admission is conservative against the
+// worst shard, not the average.
+func (c *Cluster) LookupNS() float64 { return c.coldNS }
+
+// EffectiveLookupNS is the tier's lookup latency at the shards' current
+// hot-row cache hit rates: each shard's cold latency shrinks with its own hit
+// rate (hits cost the on-chip fraction of a DRAM access), and the tier still
+// waits for the slowest shard.
+func (c *Cluster) EffectiveLookupNS() float64 {
+	var worst float64
+	for _, sh := range c.shards {
+		ns := sh.coldNS
+		if sh.cache != nil {
+			ns *= 1 - sh.cache.HitRate()*(1-c.hitScale)
+		}
+		if ns > worst {
+			worst = ns
+		}
+	}
+	return worst
+}
+
+// HotCacheHitRate is the tier-wide hit rate over every shard cache's atomic
+// counters; ok is false when caching is disabled.
+func (c *Cluster) HotCacheHitRate() (float64, bool) {
+	var hits, misses int64
+	attached := false
+	for _, sh := range c.shards {
+		if sh.cache == nil {
+			continue
+		}
+		attached = true
+		st := sh.cache.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if !attached {
+		return 0, false
+	}
+	if hits+misses == 0 {
+		return 0, true
+	}
+	return float64(hits) / float64(hits+misses), true
+}
+
+// HotCache aggregates the shard caches into one snapshot; ok is false when
+// caching is disabled. EffectiveLookupNS carries the tier's max-over-shards
+// figure, so /stats reads the same bound serving decisions use.
+func (c *Cluster) HotCache() (core.HotCacheInfo, bool) {
+	var info core.HotCacheInfo
+	attached := false
+	for _, sh := range c.shards {
+		if sh.cache == nil {
+			continue
+		}
+		attached = true
+		st := sh.cache.Stats()
+		info.CapacityBytes += sh.cache.CapacityBytes()
+		info.UsedBytes += st.UsedBytes
+		info.Entries += st.Entries
+		info.Hits += st.Hits
+		info.Misses += st.Misses
+	}
+	if !attached {
+		return core.HotCacheInfo{}, false
+	}
+	if total := info.Hits + info.Misses; total > 0 {
+		info.HitRate = float64(info.Hits) / float64(total)
+	}
+	info.EffectiveLookupNS = c.EffectiveLookupNS()
+	return info, true
+}
+
+// ---- stats ----
+
+// ShardStats is one shard's point-in-time view.
+type ShardStats struct {
+	ID int `json:"id"`
+	// Tables is the number of physical tables this shard owns.
+	Tables int `json:"tables"`
+	// ColdLookupNS is the shard's modeled cache-cold lookup latency.
+	ColdLookupNS float64 `json:"cold_lookup_ns"`
+	// Batches is the lifetime count of scatter rounds served.
+	Batches uint64 `json:"batches"`
+	// MeanServiceUS / P99ServiceUS summarise the rolling per-batch gather
+	// service time.
+	MeanServiceUS float64 `json:"mean_service_us"`
+	P99ServiceUS  float64 `json:"p99_service_us"`
+	// Occupancy is the fraction of recent wall time the shard spent
+	// gathering (rolling batch rate x mean service, capped at 1).
+	Occupancy float64 `json:"occupancy"`
+	// CacheHitRate is the shard's private hot-row cache hit rate (absent
+	// when caching is disabled).
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// Stats is the /stats "cluster" section: the shard partition, the
+// straggler-aware merge metrics, and per-shard occupancy.
+type Stats struct {
+	// Shards is the effective shard count; RingDepth each shard's partial-
+	// plane ring size.
+	Shards    int `json:"shards"`
+	RingDepth int `json:"ring_depth"`
+	// Batches is the lifetime count of scatter/gather rounds.
+	Batches uint64 `json:"batches"`
+	// ColdLookupNS is the tier's max-over-shards cache-cold lookup latency
+	// (the SLA admission bound); EffectiveLookupNS the same figure at the
+	// current shard cache hit rates.
+	ColdLookupNS      float64 `json:"cold_lookup_ns"`
+	EffectiveLookupNS float64 `json:"effective_lookup_ns"`
+	// MergeWaitUS is the distribution of coordinator straggler waits: per
+	// batch, the gap between the first and last shard completion. A balanced
+	// partition keeps the tail near zero; a skewed one shows up here before
+	// it shows up in end-to-end latency.
+	MergeWaitUS metrics.HistogramSnapshot `json:"merge_wait_us"`
+	// ImbalanceRatio is the rolling mean of per-batch max/mean shard gather
+	// service — 1.0 is a perfectly balanced round, N is one shard doing all
+	// the work.
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+	// PerShard holds each shard's view, in shard order.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots the tier.
+func (c *Cluster) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		Shards:            len(c.shards),
+		RingDepth:         c.opts.RingDepth,
+		Batches:           c.batches.Load(),
+		ColdLookupNS:      c.coldNS,
+		EffectiveLookupNS: c.EffectiveLookupNS(),
+		MergeWaitUS:       c.mergeWaitUS.Snapshot(),
+		ImbalanceRatio:    c.imbalance.Snapshot(now).Summary.Mean,
+		PerShard:          make([]ShardStats, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		s := sh.service.Snapshot(now)
+		occ := s.RatePerSec * s.Summary.Mean / 1e9
+		if occ > 1 {
+			occ = 1
+		}
+		st.PerShard[i] = ShardStats{
+			ID:            sh.id,
+			Tables:        len(sh.tables),
+			ColdLookupNS:  sh.coldNS,
+			Batches:       sh.batches.Load(),
+			MeanServiceUS: s.Summary.Mean / 1e3,
+			P99ServiceUS:  s.Summary.P99 / 1e3,
+			Occupancy:     occ,
+		}
+		if sh.cache != nil {
+			st.PerShard[i].CacheHitRate = sh.cache.HitRate()
+		}
+	}
+	return st
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"microrec/internal/embedding"
+	"microrec/internal/hotcache"
 	"microrec/internal/memsim"
 )
 
@@ -247,18 +248,12 @@ func (e *Engine) GatherBatch(queries []embedding.Query, scratch *BatchScratch) (
 // passed ValidateQuery; the loop performs no validation and no allocation.
 func (e *Engine) gatherBatchValidated(queries []embedding.Query, s *BatchScratch) {
 	b := len(queries)
-	w := e.width
 	// The scratch is reused, so zero the dense tail of every feature row;
 	// the embedding region is fully overwritten by the table passes.
-	for qi := 0; qi < b; qi++ {
-		row := s.x[qi*w+e.gplan.denseOff : qi*w+e.featureLen]
-		for i := range row {
-			row[i] = 0
-		}
-	}
+	e.ZeroDenseTail(b, s)
 	if b < gatherParallelMinBatch || len(e.gplan.shards) <= 1 {
 		for _, shard := range e.gplan.shards {
-			e.gatherTables(shard, queries, s)
+			e.gatherTables(shard, queries, s, e.cache)
 		}
 		return
 	}
@@ -272,19 +267,19 @@ func (e *Engine) gatherBatchValidated(queries []embedding.Query, s *BatchScratch
 
 func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embedding.Query, s *BatchScratch) {
 	defer wg.Done()
-	e.gatherTables(tables, queries, s)
+	e.gatherTables(tables, queries, s, e.cache)
 }
 
 // gatherTables runs the table-major gather for one shard's physical tables:
 // for each table (and lookup round) it walks the whole batch, computes the
-// physical row, optionally records the access against the live hot-row
+// physical row, optionally records the access against the given live hot-row
 // cache, and quantizes the payload into each query's fixed-point feature
 // row. Distinct tables write disjoint feature columns, so shards never
-// overlap.
-func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch) {
+// overlap. cache is a parameter (not always e.cache) because the cluster
+// tier's partial gathers account against per-shard caches.
+func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
 	f := e.cfg.Precision
 	w := e.width
-	cache := e.cache
 	for _, ti := range tables {
 		gt := &e.gplan.tables[ti]
 		if gt.mat != nil {

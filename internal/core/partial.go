@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"microrec/internal/embedding"
+	"microrec/internal/hotcache"
+)
+
+// This file exposes the gather datapath in table-subset pieces — the entry
+// points the sharded cluster tier is built on. A shard owns a subset of the
+// engine's physical tables; it gathers that subset into a shard-local plane
+// (GatherPartialIntoPlane), and the coordinator copies each shard's feature
+// columns into its own plane (MergePartialPlane). Physical tables write
+// disjoint feature columns, so the merged plane is bit-identical to a
+// monolithic GatherIntoPlane over the same queries by construction: the same
+// quantize loop produced every value, and the merge only moves bits.
+
+// ColSpan is a contiguous range of feature-vector columns.
+type ColSpan struct {
+	Off int
+	Len int
+}
+
+// PhysicalTables reports the number of physical tables in the engine's
+// compiled gather plan (Cartesian products count once). Table indices in
+// [0, PhysicalTables) are the currency of the partial-gather entry points and
+// of placement.ShardTables.
+func (e *Engine) PhysicalTables() int { return len(e.gplan.tables) }
+
+// PartialSpans returns the merged, ascending feature-column spans written by
+// the listed physical tables' gathers. Adjacent and overlapping spans are
+// coalesced, so a merge loop touches each byte once. The spans of disjoint
+// table subsets never overlap; the spans of a partition of all physical
+// tables exactly cover [0, featureLen-denseDim).
+func (e *Engine) PartialSpans(tables []int) ([]ColSpan, error) {
+	var spans []ColSpan
+	for _, ti := range tables {
+		if ti < 0 || ti >= len(e.gplan.tables) {
+			return nil, fmt.Errorf("core: physical table %d out of range (engine has %d)", ti, len(e.gplan.tables))
+		}
+		for si := range e.gplan.tables[ti].srcs {
+			src := &e.gplan.tables[ti].srcs[si]
+			spans = append(spans, ColSpan{Off: src.featOff, Len: src.lookups * src.dim})
+		}
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].Off < spans[b].Off })
+	merged := spans[:0]
+	for _, sp := range spans {
+		if n := len(merged); n > 0 && merged[n-1].Off+merged[n-1].Len >= sp.Off {
+			if end := sp.Off + sp.Len; end > merged[n-1].Off+merged[n-1].Len {
+				merged[n-1].Len = end - merged[n-1].Off
+			}
+			continue
+		}
+		merged = append(merged, sp)
+	}
+	return merged, nil
+}
+
+// GatherPartialIntoPlane gathers only the listed physical tables into the
+// plane's feature rows, quantizing exactly as the monolithic gather would.
+// Accesses are recorded against cache when non-nil (the cluster tier passes a
+// per-shard cache; nil disables accounting). Queries must have passed
+// ValidateQuery and the plane must be sized (EnsurePlane) for at least
+// len(queries); the call performs no validation, no allocation, and does not
+// touch columns outside the listed tables' spans — in particular the dense
+// tail, which the coordinator owns (ZeroDenseTail).
+func (e *Engine) GatherPartialIntoPlane(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
+	e.gatherTables(tables, queries, s, cache)
+}
+
+// ZeroDenseTail zeroes the dense tail of the plane's first b feature rows —
+// the one feature region no table gather overwrites. The monolithic gather
+// does this implicitly; a scatter/gather coordinator calls it once on its
+// merged plane.
+func (e *Engine) ZeroDenseTail(b int, s *BatchScratch) {
+	w := e.width
+	for qi := 0; qi < b; qi++ {
+		row := s.x[qi*w+e.gplan.denseOff : qi*w+e.featureLen]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// MergePartialPlane copies the given feature-column spans of the first b rows
+// from src into dst — the coordinator's fan-in step. Both planes must be
+// sized (EnsurePlane) for at least b. Spans from disjoint table subsets are
+// disjoint, so merges of different shards' partials into one plane commute.
+func (e *Engine) MergePartialPlane(b int, spans []ColSpan, src, dst *BatchScratch) {
+	w := e.width
+	for qi := 0; qi < b; qi++ {
+		base := qi * w
+		for _, sp := range spans {
+			copy(dst.x[base+sp.Off:base+sp.Off+sp.Len], src.x[base+sp.Off:base+sp.Off+sp.Len])
+		}
+	}
+}
+
+// CacheHitScale is the modeled on-chip/DRAM per-access latency ratio of the
+// engine's gather plan: a hot-row cache hit costs this fraction of a DRAM
+// access. The cluster tier uses it to model per-shard effective lookup
+// latency from per-shard cache hit rates, mirroring effectiveLookupNS.
+func (e *Engine) CacheHitScale() float64 { return e.gplan.hitScale }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"microrec/internal/model"
+)
+
+// randomPartition splits [0, n) into up to k non-empty groups.
+func randomPartition(rng *rand.Rand, n, k int) [][]int {
+	if k > n {
+		k = n
+	}
+	groups := make([][]int, k)
+	perm := rng.Perm(n)
+	for i, ti := range perm {
+		if i < k {
+			groups[i] = append(groups[i], ti) // every group non-empty
+			continue
+		}
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], ti)
+	}
+	return groups
+}
+
+// TestPartialSpansCoverEmbeddingRegion checks that a partition's merged spans
+// are disjoint across groups and together cover exactly the embedding region
+// [0, featureLen-denseDim) — the invariant the cluster merge relies on.
+func TestPartialSpansCoverEmbeddingRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		spec := randomSpec(rng, fmt.Sprintf("span-%d", trial))
+		e := buildEngine(t, spec, ConfigFor(spec.Name, SmallFP16().Precision), true)
+		nt := e.PhysicalTables()
+		for _, k := range []int{1, 2, 3} {
+			parts := randomPartition(rng, nt, k)
+			covered := make([]int, e.featureLen)
+			for _, tables := range parts {
+				spans, err := e.PartialSpans(tables)
+				if err != nil {
+					t.Fatal(err)
+				}
+				last := -1
+				for _, sp := range spans {
+					if sp.Off <= last {
+						t.Fatalf("spans not ascending/merged: %+v", spans)
+					}
+					last = sp.Off + sp.Len - 1
+					for c := sp.Off; c < sp.Off+sp.Len; c++ {
+						covered[c]++
+					}
+				}
+			}
+			embEnd := e.featureLen - e.spec.DenseDim
+			for c := 0; c < embEnd; c++ {
+				if covered[c] != 1 {
+					t.Fatalf("%s k=%d: column %d covered %d times", spec.Name, k, c, covered[c])
+				}
+			}
+			for c := embEnd; c < e.featureLen; c++ {
+				if covered[c] != 0 {
+					t.Fatalf("%s k=%d: dense column %d claimed by a table span", spec.Name, k, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialGatherMergeMatchesMonolithic is the datapath half of the
+// cluster's bit-identity argument, pinned at the core layer: gathering a
+// random partition's subsets into separate planes and merging their spans
+// reproduces the monolithic GatherIntoPlane bit for bit.
+func TestPartialGatherMergeMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		spec := randomSpec(rng, fmt.Sprintf("pmerge-%d", trial))
+		e := buildEngine(t, spec, ConfigFor(spec.Name, SmallFP16().Precision), true)
+		nt := e.PhysicalTables()
+		for _, b := range []int{1, 5, 33} {
+			qs := randomQueries(spec, b, int64(trial*100+b))
+			var want BatchScratch
+			e.EnsurePlane(&want, b)
+			e.GatherIntoPlane(qs, &want)
+
+			k := 1 + rng.Intn(4)
+			parts := randomPartition(rng, nt, k)
+			var merged BatchScratch
+			e.EnsurePlane(&merged, b)
+			// Poison the plane so untouched columns are caught.
+			for i := range merged.x {
+				merged.x[i] = -7777
+			}
+			e.ZeroDenseTail(b, &merged)
+			for _, tables := range parts {
+				var partial BatchScratch
+				e.EnsurePlane(&partial, b)
+				spans, err := e.PartialSpans(tables)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.GatherPartialIntoPlane(tables, qs, &partial, nil)
+				e.MergePartialPlane(b, spans, &partial, &merged)
+			}
+			w := e.width
+			for qi := 0; qi < b; qi++ {
+				for c := 0; c < e.featureLen; c++ {
+					if merged.x[qi*w+c] != want.x[qi*w+c] {
+						t.Fatalf("%s b=%d k=%d query %d col %d: merged %d, monolithic %d",
+							spec.Name, b, k, qi, c, merged.x[qi*w+c], want.x[qi*w+c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartialSpansErrors covers the index contract.
+func TestPartialSpansErrors(t *testing.T) {
+	e := buildEngine(t, model.SmallProduction(), SmallFP16(), true)
+	if _, err := e.PartialSpans([]int{-1}); err == nil {
+		t.Fatal("negative table index did not error")
+	}
+	if _, err := e.PartialSpans([]int{e.PhysicalTables()}); err == nil {
+		t.Fatal("out-of-range table index did not error")
+	}
+}

@@ -120,3 +120,85 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Errorf("count = %d, want 4000", got)
 	}
 }
+
+// TestHistogramSingleSample pins the n=1 distribution edge: every quantile of
+// a one-sample histogram must report exactly that sample (the clamp against
+// the tracked min/max must hide the eps-wide bucket interior).
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []float64{0.5, 1, 37, 999, 5e5} {
+		h := NewHistogram(0.01, 1e6)
+		h.Observe(v)
+		snap := h.Snapshot()
+		if snap.Count != 1 {
+			t.Fatalf("v=%v: count %d", v, snap.Count)
+		}
+		// One exact expectation for every v — including sub-unit values,
+		// which share bucket 0 but keep exact min/max, and the clamp must
+		// surface those rather than the bucket representative.
+		want := v
+		for name, got := range map[string]float64{
+			"p50": snap.P50, "p95": snap.P95, "p99": snap.P99, "p999": snap.P999,
+			"min": snap.Min, "max": snap.Max, "mean": snap.Mean,
+		} {
+			if got != want {
+				t.Fatalf("v=%v: %s = %v, want exactly the sample", v, name, got)
+			}
+		}
+		if q := h.Quantile(0); q != want {
+			t.Fatalf("v=%v: Quantile(0) = %v", v, q)
+		}
+		if q := h.Quantile(1); q != want {
+			t.Fatalf("v=%v: Quantile(1) = %v", v, q)
+		}
+	}
+}
+
+// TestHistogramAllEqualSamples pins the degenerate distribution: when every
+// observation is the same value, all quantiles collapse to it exactly — the
+// bucket midpoint may sit up to eps away, but min/max clamping must win.
+func TestHistogramAllEqualSamples(t *testing.T) {
+	for _, v := range []float64{1, 2.5, 128, 77777} {
+		h := NewHistogram(0.01, 1e6)
+		for i := 0; i < 1000; i++ {
+			h.Observe(v)
+		}
+		snap := h.Snapshot()
+		if snap.P50 != v || snap.P95 != v || snap.P99 != v || snap.P999 != v {
+			t.Fatalf("v=%v: quantiles %+v, want all exactly %v", v, snap, v)
+		}
+		if snap.Mean != v || snap.Min != v || snap.Max != v {
+			t.Fatalf("v=%v: mean/min/max %+v", v, snap)
+		}
+	}
+}
+
+// TestHistogramBelowSmallestBucket pins the sub-unit edge: values in [0, 1]
+// share the first bucket (below the resolution of a latency histogram), so a
+// distribution living entirely under 1 must still report sane, clamped
+// quantiles inside the exactly tracked [min, max] — never bucket 0's nominal
+// representative when the data sits below it.
+func TestHistogramBelowSmallestBucket(t *testing.T) {
+	h := NewHistogram(0.01, 1e6)
+	vals := []float64{0.001, 0.01, 0.2, 0.4, 0.9}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Min != 0.001 || snap.Max != 0.9 {
+		t.Fatalf("min/max %v/%v, want exact 0.001/0.9", snap.Min, snap.Max)
+	}
+	for name, q := range map[string]float64{"p50": snap.P50, "p99": snap.P99, "p999": snap.P999} {
+		if q < snap.Min || q > snap.Max {
+			t.Fatalf("%s = %v escapes the observed range [%v, %v]", name, q, snap.Min, snap.Max)
+		}
+	}
+	// Mixing one large value: the sub-unit mass still dominates p50.
+	h.Observe(5000)
+	snap = h.Snapshot()
+	if snap.P50 > 1 {
+		t.Fatalf("p50 %v > 1 with 5/6 of mass below 1", snap.P50)
+	}
+	if snap.Max != 5000 || snap.P999 > 5000 {
+		t.Fatalf("tail %+v", snap)
+	}
+}

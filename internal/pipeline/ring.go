@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"microrec/internal/core"
+)
+
+// PlaneRing is a fixed pool of pre-allocated fixed-point batch planes — the
+// marked-graph token discipline the executor's in-flight bound is built on,
+// exported as a standalone primitive so other fan-out layers reuse it. The
+// cluster tier gives each engine shard its own ring of partial planes: a
+// shard can gather for the next in-flight batch while the coordinator is
+// still merging its previous partial, and the ring bounds the shard's
+// outstanding planes exactly as the executor's ring bounds its batches.
+//
+// Acquire blocks while all planes are out; Release returns one. The ring
+// never allocates after construction, so steady-state users stay
+// allocation-free.
+type PlaneRing struct {
+	free chan *core.BatchScratch
+}
+
+// NewPlaneRing pre-allocates depth planes, each sized via the engine for
+// batches of up to maxBatch queries.
+func NewPlaneRing(eng StageEngine, depth, maxBatch int) (*PlaneRing, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("pipeline: nil engine")
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("pipeline: plane ring depth %d (want >= 1)", depth)
+	}
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("pipeline: plane ring max batch %d", maxBatch)
+	}
+	r := &PlaneRing{free: make(chan *core.BatchScratch, depth)}
+	for i := 0; i < depth; i++ {
+		s := &core.BatchScratch{}
+		eng.EnsurePlane(s, maxBatch)
+		r.free <- s
+	}
+	return r, nil
+}
+
+// Acquire takes a free plane, blocking until one is released.
+func (r *PlaneRing) Acquire() *core.BatchScratch { return <-r.free }
+
+// Release returns a plane to the ring. Releasing a plane that did not come
+// from Acquire overfills the ring and panics — the ring is a token pool, not
+// a free list.
+func (r *PlaneRing) Release(s *core.BatchScratch) {
+	select {
+	case r.free <- s:
+	default:
+		panic("pipeline: PlaneRing.Release without matching Acquire")
+	}
+}
+
+// Depth reports the ring's plane count.
+func (r *PlaneRing) Depth() int { return cap(r.free) }
+
+// Free reports how many planes are currently available.
+func (r *PlaneRing) Free() int { return len(r.free) }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"microrec/internal/cluster"
 	"microrec/internal/core"
 	"microrec/internal/embedding"
 	"microrec/internal/metrics"
@@ -125,6 +126,17 @@ type Options struct {
 	// into the clients. Combine with QueueDepth to bound the worst-case
 	// queueing delay of every admitted request.
 	Shed bool
+	// Shards, when > 1, runs the sharded serving tier: the engine's
+	// embedding tables are partitioned across that many gather shards
+	// (placement's LPT shard assignment), every micro-batch is scattered to
+	// the shards and their partial planes merged before the FC stack runs
+	// once — bit-identical to single-engine service by construction. The
+	// server wraps the engine in an internal/cluster coordinator it owns
+	// (requires a *core.Engine or a caller-built *cluster.Cluster); SLA
+	// admission then uses the tier's max-over-shards lookup bound, and
+	// /stats gains a "cluster" section. 0 or 1 serves on the engine
+	// directly.
+	Shards int
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -172,6 +184,9 @@ func (o Options) Validate() error {
 	}
 	if !o.WorkerPool && o.PipelineDepth < 2 {
 		return fmt.Errorf("serving: pipeline depth %d (need >= 2 planes; use WorkerPool for the flat drain)", o.PipelineDepth)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("serving: shard count %d", o.Shards)
 	}
 	return nil
 }
@@ -243,7 +258,12 @@ type Server struct {
 	// pipe is the staged executor of the default pipelined drain; nil in
 	// worker-pool mode.
 	pipe *pipeline.Executor
-	wg   sync.WaitGroup
+	// clu is the sharded tier coordinator when Options.Shards > 1 (it is
+	// also the server's eng); ownsCluster marks the one New built itself,
+	// which Close must stop after the drain has emptied.
+	clu         *cluster.Cluster
+	ownsCluster bool
+	wg          sync.WaitGroup
 
 	// Admission counters (see AdmissionStats).
 	shed          atomic.Uint64
@@ -292,9 +312,49 @@ func New(eng Engine, opts Options) (*Server, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	var (
+		clu         *cluster.Cluster
+		ownsCluster bool
+	)
+	if opts.Shards > 1 {
+		switch e := eng.(type) {
+		case *cluster.Cluster:
+			// Caller-built tier: serve on it and surface its stats, but the
+			// caller keeps ownership (and Close responsibility). Its shard
+			// planes must fit this server's batches.
+			if cap := e.Options().MaxBatch; cap < opts.MaxBatch {
+				return nil, fmt.Errorf("serving: cluster plane capacity %d below MaxBatch %d", cap, opts.MaxBatch)
+			}
+			clu = e
+		case *core.Engine:
+			// Per-shard rings sized to the drain's in-flight bound: the
+			// pipelined drain holds PipelineDepth planes, the worker pool
+			// runs Workers batches — one partial per in-flight batch, plus
+			// headroom so a shard can gather ahead of a straggling merge.
+			ringDepth := opts.PipelineDepth
+			if opts.WorkerPool {
+				ringDepth = opts.Workers + 1
+			}
+			c, err := cluster.New(e, cluster.Options{
+				Shards:    opts.Shards,
+				MaxBatch:  opts.MaxBatch,
+				RingDepth: ringDepth,
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng = c
+			clu = c
+			ownsCluster = true
+		default:
+			return nil, fmt.Errorf("serving: Options.Shards needs a *core.Engine or *cluster.Cluster (got %T)", eng)
+		}
+	}
 	s := &Server{
 		eng:         eng,
 		opts:        opts,
+		clu:         clu,
+		ownsCluster: ownsCluster,
 		submit:      make(chan *request, opts.QueueDepth),
 		batches:     make(chan []*request, 2*opts.Workers),
 		latencyUS:   metrics.NewRolling(opts.StatsWindow),
@@ -316,6 +376,9 @@ func New(eng Engine, opts Options) (*Server, error) {
 		Prepare:  s.prepare,
 	})
 	if err != nil {
+		if ownsCluster {
+			_ = clu.Close()
+		}
 		return nil, err
 	}
 	s.pipe = pipe
@@ -420,10 +483,18 @@ func (s *Server) Close() error {
 	// drains it. Only then may the executor close: every accepted batch has
 	// been submitted, and the executor's Close delivers the in-flight ones.
 	s.wg.Wait()
+	var err error
 	if s.pipe != nil {
-		return s.pipe.Close()
+		err = s.pipe.Close()
 	}
-	return nil
+	// Only now is the drain empty — no worker or stage can issue another
+	// scatter round — so an owned sharded tier's workers may stop.
+	if s.ownsCluster {
+		if cerr := s.clu.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // drainQueued non-blockingly moves already-queued requests into pending, up
@@ -724,6 +795,11 @@ type HotCacheStats struct {
 // the measured vs pipesim-predicted steady-state initiation interval.
 type PipelineStats = pipeline.Snapshot
 
+// ClusterStats is the serving-side view of the sharded tier: shard count and
+// partition, per-shard occupancy, the straggler merge-wait histogram and the
+// imbalance ratio.
+type ClusterStats = cluster.Stats
+
 // AdmissionStats is the /stats view of the admission gate: current queue
 // pressure, the shed and drop counters, and the server's own estimate of its
 // knee — the offered load beyond which it starts shedding.
@@ -777,6 +853,9 @@ type Stats struct {
 	// Pipeline reports the staged executor when the server runs the
 	// pipelined drain (nil in worker-pool mode).
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
+	// Cluster reports the sharded tier when Options.Shards > 1 (nil on a
+	// single engine).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 	// HotCache reports the engine's live hot-row cache when one is
 	// attached (nil otherwise).
 	HotCache *HotCacheStats `json:"hotcache,omitempty"`
@@ -827,6 +906,10 @@ func (s *Server) Stats() Stats {
 	if s.pipe != nil {
 		snap := s.pipe.Snapshot()
 		st.Pipeline = &snap
+	}
+	if s.clu != nil {
+		cs := s.clu.Stats()
+		st.Cluster = &cs
 	}
 	if st.MaxBatch > 0 {
 		st.BatchOccupancy = st.MeanBatch / float64(st.MaxBatch)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"microrec/internal/cluster"
 	"microrec/internal/core"
 	"microrec/internal/embedding"
 	"microrec/internal/memsim"
@@ -627,5 +628,38 @@ func TestPipelineCloseDrainsInFlight(t *testing.T) {
 	}
 	if _, err := srv.Submit(context.Background(), qs[0]); !errors.Is(err, ErrServerClosed) {
 		t.Errorf("submit after close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestShardsClusterCapacityValidated pins the caller-built-cluster wrap rule:
+// a tier whose shard planes are smaller than the server's MaxBatch would
+// overrun them at gather time, so New must reject the pairing up front.
+func TestShardsClusterCapacityValidated(t *testing.T) {
+	eng := testEngine(t)
+	clu, err := cluster.New(eng, cluster.Options{Shards: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	if _, err := New(clu, Options{MaxBatch: 8, Shards: 2}); err == nil {
+		t.Fatal("undersized cluster planes accepted")
+	}
+	// A matching capacity is accepted and served on the caller's tier.
+	srv, err := New(clu, Options{MaxBatch: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Cluster == nil || st.Cluster.Shards != 2 {
+		t.Fatalf("caller-built cluster not surfaced in stats: %+v", st.Cluster)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The caller still owns the tier: it must remain usable after the
+	// server closed.
+	qs := randomQueries(t, eng.Spec(), 2, 1)
+	if _, err := clu.InferBatch(qs, nil, nil); err != nil {
+		t.Fatalf("caller-owned cluster unusable after server close: %v", err)
 	}
 }

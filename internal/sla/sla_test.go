@@ -280,3 +280,41 @@ func TestAdmittedLatencyBoundsMS(t *testing.T) {
 		t.Errorf("expected %v, want %v", expected, want)
 	}
 }
+
+// TestAdmittedLatencyBoundsPipelineMode pins the bounds in the serving
+// layer's pipelined-drain model: the pipeline is treated conservatively as a
+// single drain worker (workers=1) with the full un-overlapped batch service
+// time. With ring depth 1 batch of backlog the bound is window + 2*service
+// (the classic one-in-flight form), and deeper backlogs grow linearly — one
+// full service round per queued batch, since one "worker" drains them.
+func TestAdmittedLatencyBoundsPipelineMode(t *testing.T) {
+	const window, cold, warm = 0.2, 4.0, 2.5
+	// Depth-1 backlog, pipeline drain (workers=1).
+	worst, expected := AdmittedLatencyBoundsMS(window, cold, warm, 1, 1)
+	if want := window + 2*cold; worst != want {
+		t.Fatalf("depth-1 worst %v, want window+2*service = %v", worst, want)
+	}
+	if want := window + 2*warm; expected != want {
+		t.Fatalf("depth-1 expected %v, want %v", expected, want)
+	}
+	if expected >= worst {
+		t.Fatalf("warm expectation %v must beat cold bound %v", expected, worst)
+	}
+	// The pipelined drain's single conservative worker: each extra queued
+	// batch adds exactly one cold service to the worst case.
+	prevWorst := worst
+	for backlog := 2; backlog <= 5; backlog++ {
+		w, _ := AdmittedLatencyBoundsMS(window, cold, warm, backlog, 1)
+		if diff := w - prevWorst; diff != cold {
+			t.Fatalf("backlog %d: bound grew by %v, want one service (%v)", backlog, diff, cold)
+		}
+		prevWorst = w
+	}
+	// Sanity against the worker-pool model: with enough workers the same
+	// backlog drains in one round, so the pipeline-mode bound dominates.
+	poolWorst, _ := AdmittedLatencyBoundsMS(window, cold, warm, 5, 5)
+	pipeWorst, _ := AdmittedLatencyBoundsMS(window, cold, warm, 5, 1)
+	if pipeWorst <= poolWorst {
+		t.Fatalf("pipeline-mode bound %v not conservative vs pool %v", pipeWorst, poolWorst)
+	}
+}

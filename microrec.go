@@ -20,7 +20,13 @@
 //     software analogue of the paper's pipelined dataflow (§4.1) — with a
 //     flat engine worker pool as a fallback mode (NewServer), plus
 //     overload protection: a bounded submit queue with fast-fail shedding
-//     and deadline-aware batch formation (ServerOptions.Shed/SLA), and
+//     and deadline-aware batch formation (ServerOptions.Shed/SLA),
+//   - the sharded serving tier (ServerOptions.Shards): embedding tables
+//     partitioned across N gather shards by the placement planner's LPT
+//     shard assignment, each micro-batch scattered to the shards and their
+//     partial planes merged before the FC stack runs once — bit-identical
+//     to single-engine inference, with per-shard hot-row caches, plane
+//     rings and straggler-aware merge metrics in /stats, and
 //   - the open-loop load harness (RunLoad, SweepLoad): Poisson and
 //     trace-driven arrival processes that drive the server past saturation
 //     and locate the knee — the highest offered rate meeting the tail SLA.
@@ -100,7 +106,7 @@ type (
 	// an engine worker pool) behind response futures.
 	Server = serving.Server
 	// ServerOptions configures NewServer (batch size, flush window,
-	// pipeline depth / worker-pool fallback, worker count).
+	// pipeline depth / worker-pool fallback, worker count, shard count).
 	ServerOptions = serving.Options
 	// ServeResult is one served query's prediction plus modeled-vs-wall
 	// latency.
@@ -113,6 +119,10 @@ type (
 	// ring depth, in-flight batches, per-stage occupancy and the measured
 	// vs pipesim-predicted steady-state initiation interval.
 	PipelineStats = serving.PipelineStats
+	// ClusterStats is the /stats view of the sharded serving tier
+	// (ServerOptions.Shards > 1): shard partition and per-shard occupancy,
+	// the straggler merge-wait histogram and the imbalance ratio.
+	ClusterStats = serving.ClusterStats
 	// HotCacheInfo is a snapshot of an engine's live hot-row cache
 	// (Engine.HotCache).
 	HotCacheInfo = core.HotCacheInfo
@@ -296,8 +306,10 @@ func PaperCPUModel(modelName string) (CPUModel, error) {
 // — gather, dense-GEMM and tail stages overlapped over a ring of
 // ServerOptions.PipelineDepth batch planes, bit-identical to the monolithic
 // datapath — or by a flat engine worker pool when ServerOptions.WorkerPool
-// is set. The returned server owns background goroutines; callers must
-// Close it.
+// is set. With ServerOptions.Shards > 1 the server first wraps the engine in
+// the sharded scatter/gather tier (tables partitioned across shards, partial
+// planes merged before the FC stack; bit-identical by construction). The
+// returned server owns background goroutines; callers must Close it.
 func NewServer(eng *Engine, opts ServerOptions) (*Server, error) {
 	return serving.New(eng, opts)
 }
