@@ -32,8 +32,15 @@ bench-json:
 # writes BENCH_loadtest.json: the knee (max qps meeting the SLA), per-level
 # admitted-tail latency, and shed fail-fast times — the overload-behaviour
 # trajectory next to bench-json's throughput trajectory.
+# COLD=1 runs the tiered-store configuration instead: the model backed by an
+# mmap'd cold tier 4x the DRAM hot budget, the committed BENCH_loadtest.json
+# shape (demonstrates bounded admitted p99 on a model larger than DRAM).
 loadtest-json:
+ifeq ($(COLD),1)
+	$(GO) run ./cmd/microrec loadtest -cold-tier tmp -o BENCH_loadtest.json
+else
 	$(GO) run ./cmd/microrec loadtest -o BENCH_loadtest.json
+endif
 
 # bench-smoke runs the datapath/serving benchmarks once each — a fast check
 # that the hot paths still execute, used by CI.

@@ -34,11 +34,15 @@ type benchReport struct {
 	Model     string `json:"model"`
 	Mode      string `json:"mode"`
 	// Shards is the scatter/gather tier's shard count (1 = single engine).
-	Shards     int           `json:"shards"`
-	Queries    int           `json:"queries_per_batch_size"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Timestamp  string        `json:"timestamp"`
-	Results    []benchResult `json:"results"`
+	Shards     int    `json:"shards"`
+	Queries    int    `json:"queries_per_batch_size"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+	// Tier records the tiered-store configuration and end-of-run counters
+	// when the run used -cold-tier (absent on all-DRAM runs, keeping the
+	// committed baseline schema unchanged).
+	Tier    *microrec.TierStats `json:"tier,omitempty"`
+	Results []benchResult       `json:"results"`
 }
 
 // parseBatchList parses a comma-separated batch-size list ("1,16,64").
@@ -139,6 +143,7 @@ func cmdBench(args []string) error {
 	workerPool := fs.Bool("worker-pool", false, "bench the worker-pool drain instead of the staged pipeline")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
 	shards := fs.Int("shards", 1, "gather shards of the scatter/gather tier (1 = single engine)")
+	applyColdTier := addColdTierFlags(fs, "bench")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,10 +161,15 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096})
+	engOpts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096}
+	if err := applyColdTier(&engOpts); err != nil {
+		return err
+	}
+	eng, err := microrec.NewEngine(spec, engOpts)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 11)
 	if err != nil {
 		return err
@@ -202,6 +212,7 @@ func cmdBench(args []string) error {
 		fmt.Fprintf(progress, "batch %3d: %10.0f ns/query  %9.0f queries/s  (mean batch %.1f)\n",
 			b, res.NSPerQuery, res.QueriesPerSec, res.MeanBatch)
 	}
+	rep.Tier = tierSnapshot(eng)
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -45,17 +45,21 @@ func diffBench(baseline, candidate benchReport, tol float64) (lines []string, er
 	for _, c := range candidate.Results {
 		b, ok := base[c.Batch]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("batch %3d: no baseline entry, skipped", c.Batch))
-			continue
+			// A batch the baseline never measured has no gate at all;
+			// skipping it would let a regression at that size ride in
+			// unchecked forever. The baseline is stale — demand a new one.
+			return nil, fmt.Errorf("benchdiff: baseline has no entry for batch %d (present in candidate) — regenerate the committed baseline to cover the current bench matrix", c.Batch)
 		}
 		shared++
 		if b.NSPerQuery <= 0 {
-			return nil, fmt.Errorf("benchdiff: baseline batch %d has ns_per_query %v", b.Batch, b.NSPerQuery)
+			// A non-positive baseline would make the regression ratio
+			// Inf/NaN; the document is broken, not a comparison input.
+			return nil, fmt.Errorf("benchdiff: baseline batch %d records ns_per_query %v — not a usable measurement, regenerate the baseline", b.Batch, b.NSPerQuery)
 		}
 		if c.NSPerQuery <= 0 {
 			// A zero candidate is a broken measurement, not a miraculous
 			// speedup; letting it through would green-light garbage forever.
-			return nil, fmt.Errorf("benchdiff: candidate batch %d has ns_per_query %v", c.Batch, c.NSPerQuery)
+			return nil, fmt.Errorf("benchdiff: candidate batch %d records ns_per_query %v — broken measurement, not a speedup", c.Batch, c.NSPerQuery)
 		}
 		delta := c.NSPerQuery/b.NSPerQuery - 1
 		verdict := "ok"

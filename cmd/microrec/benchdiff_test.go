@@ -107,3 +107,39 @@ func TestBenchdiffRejectsZeroCandidate(t *testing.T) {
 		t.Fatal("zero candidate ns_per_query passed the gate")
 	}
 }
+
+// TestBenchdiffMissingBaselineBatch pins the stale-baseline guard: a batch
+// size present in the candidate but absent from the committed baseline means
+// the baseline predates the current bench matrix, and the gate must demand a
+// regenerated baseline rather than silently skipping the unguarded batch
+// (which let regressions at new batch sizes ride in unchecked forever).
+func TestBenchdiffMissingBaselineBatch(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline covers batches {1, 16}; candidate adds batch 64.
+	base := writeBenchJSON(t, dir, "base.json", serveReport(map[int]float64{1: 1000, 16: 500}))
+	cand := writeBenchJSON(t, dir, "cand.json", serveReport(map[int]float64{1: 1000, 16: 500, 64: 300}))
+	err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand})
+	if err == nil {
+		t.Fatal("candidate batch 64 missing from baseline passed the gate")
+	}
+	if !strings.Contains(err.Error(), "batch 64") {
+		t.Fatalf("error does not name the missing batch: %v", err)
+	}
+}
+
+// TestBenchdiffRejectsZeroBaseline pins the other broken-document edge: a
+// baseline recording ns_per_query <= 0 would make the regression ratio
+// Inf/NaN; the gate must fail with a message naming the batch, not emit a
+// nonsense comparison.
+func TestBenchdiffRejectsZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", serveReport(map[int]float64{1: 0, 16: 500}))
+	cand := writeBenchJSON(t, dir, "cand.json", serveReport(map[int]float64{1: 900, 16: 500}))
+	err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand})
+	if err == nil {
+		t.Fatal("zero baseline ns_per_query passed the gate")
+	}
+	if !strings.Contains(err.Error(), "batch 1") {
+		t.Fatalf("error does not name the batch: %v", err)
+	}
+}

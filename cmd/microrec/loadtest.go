@@ -44,6 +44,10 @@ type loadtestReport struct {
 	PredictedCapacityQPS float64 `json:"predicted_capacity_qps"`
 	// Admission echoes the server's final admission counters.
 	Admission microrec.AdmissionStats `json:"admission"`
+	// Tier records the tiered-store configuration (hot budget vs total
+	// model bytes, modeled cold latency) and post-sweep counters when the
+	// run used -cold-tier (absent on all-DRAM runs).
+	Tier *microrec.TierStats `json:"tier,omitempty"`
 }
 
 // parseLoadList parses a comma-separated ascending qps ladder ("500,1000").
@@ -75,6 +79,7 @@ func cmdLoadtest(args []string) error {
 	tol := fs.Float64("tol", 0.01, "loss fraction (shed+expired) still counted as meeting the SLA")
 	zipf := fs.Bool("zipf", true, "Zipfian query skew (false = uniform)")
 	seed := fs.Int64("seed", 21, "deterministic arrival + workload seed")
+	applyColdTier := addColdTierFlags(fs, "loadtest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,10 +110,15 @@ func cmdLoadtest(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096})
+	engOpts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096}
+	if err := applyColdTier(&engOpts); err != nil {
+		return err
+	}
+	eng, err := microrec.NewEngine(spec, engOpts)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	// The loadtest server always sheds: open-loop overload against a
 	// blocking queue just moves the queue into the harness.
 	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
@@ -195,6 +205,7 @@ func cmdLoadtest(args []string) error {
 	rep.KneeQPS = sweep.KneeQPS
 	rep.PredictedCapacityQPS = srv.CapacityQPS()
 	rep.Admission = srv.Stats().Admission
+	rep.Tier = tierSnapshot(eng)
 
 	fmt.Fprintf(progress, "\n%-12s %-12s %-10s %-10s %-10s %-8s %-8s %s\n",
 		"offered-qps", "goodput-qps", "p50-us", "p99-us", "shed-p99", "shed", "expired", "SLA")

@@ -133,6 +133,7 @@ func cmdServe(args []string) error {
 	shed := fs.Bool("shed", false, "fail fast with 429 + Retry-After when the submit queue is full, instead of blocking on backpressure")
 	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off; with -shards, split across per-shard caches); hit rate and effective lookup latency appear in /stats")
 	shards := fs.Int("shards", 1, "gather shards of the scatter/gather serving tier (1 = single engine); per-shard occupancy, merge-wait and imbalance appear in /stats.cluster")
+	applyColdTier := addColdTierFlags(fs, "serve")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,10 +171,14 @@ func cmdServe(args []string) error {
 	if *fp32 {
 		opts.Precision = microrec.Fixed32
 	}
+	if err := applyColdTier(&opts); err != nil {
+		return err
+	}
 	eng, err := microrec.NewEngine(spec, opts)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
 		MaxBatch:      *batch,
 		Window:        *window,
@@ -207,6 +212,10 @@ func cmdServe(args []string) error {
 	cacheNote := ""
 	if *hotCache > 0 {
 		cacheNote = fmt.Sprintf(", hot-row cache %d B", *hotCache)
+	}
+	if tier := tierSnapshot(eng); tier != nil {
+		cacheNote += fmt.Sprintf(", tiered store (hot budget %d B of %d B, cold latency %.0f ns)",
+			tier.HotBudgetBytes, tier.TotalBytes, tier.ColdLatencyNS)
 	}
 	if *shed {
 		cacheNote += fmt.Sprintf(", shedding at queue depth %d", srv.Options().QueueDepth)

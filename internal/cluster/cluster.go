@@ -48,6 +48,7 @@ import (
 	"microrec/internal/metrics"
 	"microrec/internal/pipeline"
 	"microrec/internal/placement"
+	"microrec/internal/tieredstore"
 )
 
 // Options configures a Cluster. The zero value of every field but Shards gets
@@ -228,6 +229,16 @@ func New(eng *core.Engine, opts Options) (*Cluster, error) {
 		}
 		c.shards = append(c.shards, sh)
 	}
+	// On a tiered engine the shard caches observe all gather traffic (the
+	// coordinator's own cache sees none), so they must feed the placement
+	// harvest or the sweep would demote everything under sharded serving.
+	if store := eng.TierStore(); store != nil {
+		for _, sh := range c.shards {
+			if sh.cache != nil {
+				store.AddSource(sh.cache)
+			}
+		}
+	}
 	c.wg.Add(len(c.shards))
 	for _, sh := range c.shards {
 		go c.shardWorker(sh)
@@ -396,15 +407,21 @@ func (c *Cluster) TimingAt(items int, lookupNS float64) (core.TimingReport, erro
 // LookupNS is the tier's cache-cold lookup latency: the slowest shard's
 // modeled subset latency. Shards gather in parallel, so the tier waits for
 // the straggler — max over shards, never the sum — and each shard's figure is
-// at most the single engine's (removing tables never slows a bank). SLA
+// at most the single engine's (removing tables never slows a bank). On a
+// tiered engine the residency-weighted cold-tier bound is added on top:
+// every shard resolves rows through the same backing store, so a cold row
+// stalls whichever shard owns it and the straggler wait absorbs it. SLA
 // admission uses this bound, so sharded admission is conservative against the
 // worst shard, not the average.
-func (c *Cluster) LookupNS() float64 { return c.coldNS }
+func (c *Cluster) LookupNS() float64 { return c.coldNS + c.eng.TierBoundNS() }
 
 // EffectiveLookupNS is the tier's lookup latency at the shards' current
 // hot-row cache hit rates: each shard's cold latency shrinks with its own hit
 // rate (hits cost the on-chip fraction of a DRAM access), and the tier still
-// waits for the slowest shard.
+// waits for the slowest shard. On a tiered engine the current
+// residency-weighted cold-tier bound rides on top — it shrinks as the sweep
+// promotes rows, so the figure tracks warm-up without ever understating the
+// backing-store term.
 func (c *Cluster) EffectiveLookupNS() float64 {
 	var worst float64
 	for _, sh := range c.shards {
@@ -416,11 +433,20 @@ func (c *Cluster) EffectiveLookupNS() float64 {
 			worst = ns
 		}
 	}
-	return worst
+	return worst + c.eng.TierBoundNS()
 }
 
-// HotCacheHitRate is the tier-wide hit rate over every shard cache's atomic
-// counters; ok is false when caching is disabled.
+// Tier delegates the tiered-store snapshot to the underlying engine; ok is
+// false on an all-DRAM engine.
+func (c *Cluster) Tier() (tieredstore.Snapshot, bool) { return c.eng.Tier() }
+
+// PrefetchBatch delegates the cold-row prefetch pass to the engine: shards
+// read rows through the same backing store, so warming it before the scatter
+// round benefits every shard's gather.
+func (c *Cluster) PrefetchBatch(queries []embedding.Query) { c.eng.PrefetchBatch(queries) }
+
+// HotCacheHitRate is the tier-wide hit rate over a coherent snapshot of
+// every shard cache's counters; ok is false when caching is disabled.
 func (c *Cluster) HotCacheHitRate() (float64, bool) {
 	var hits, misses int64
 	attached := false

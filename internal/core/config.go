@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"microrec/internal/fixedpoint"
+	"microrec/internal/tieredstore"
 )
 
 // Config describes one accelerator build, mirroring the implementation
@@ -51,6 +52,14 @@ type Config struct {
 	// predictions — but its observed hit rate scales the modeled
 	// embedding-lookup latency (Engine.EffectiveLookupNS).
 	HotCacheBytes int64
+	// ColdTier, when non-nil, backs every embedding access stream with a
+	// two-tier store: frequency-hot rows pinned in a DRAM budget, the full
+	// row set in an mmap'd cold file with a modeled per-access latency
+	// (internal/tieredstore). Functionally transparent by construction —
+	// both tiers hold identical float32 bits — while LookupNS gains the
+	// residency-weighted cold bound and EffectiveLookupNS the observed
+	// cold-read penalty. Engines built with a cold tier must be Closed.
+	ColdTier *tieredstore.Config
 }
 
 // Validate checks the configuration.
@@ -89,6 +98,11 @@ func (c Config) Validate() error {
 	}
 	if c.HotCacheBytes < 0 {
 		return fmt.Errorf("core: negative hot-cache capacity")
+	}
+	if c.ColdTier != nil {
+		if err := c.ColdTier.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"microrec/internal/pipesim"
 	"microrec/internal/placement"
 	"microrec/internal/tensor"
+	"microrec/internal/tieredstore"
 )
 
 // Engine is a built MicroRec accelerator instance: a placement plan bound to
@@ -51,6 +52,10 @@ type Engine struct {
 	gplan gatherPlan
 	// cache is the optional live hot-row cache (Config.HotCacheBytes).
 	cache *hotcache.Live
+	// tier is the optional tiered backing store (Config.ColdTier): hot rows
+	// pinned in DRAM, the full row set in an mmap'd cold file. Engines with
+	// a tier must be Closed.
+	tier *tieredstore.Store
 
 	// onePool recycles the batch-of-one scratch InferOne runs on, keeping
 	// the single-query path allocation-free in steady state. The engine
@@ -167,7 +172,38 @@ func Build(params *model.Parameters, plan *placement.Result, cfg Config) (*Engin
 	if e.gplan, err = e.compileGatherPlan(); err != nil {
 		return nil, err
 	}
+	if cfg.ColdTier != nil {
+		if err := e.attachTier(); err != nil {
+			return nil, err
+		}
+		if e.cache == nil {
+			// Tiered placement is harvested from the live cache, so a tiered
+			// engine needs one: default to the hot-tier budget (floored so an
+			// all-cold budget still leaves a usable harvest window).
+			capacity := e.tier.HotBudgetBytes()
+			if capacity < 1<<20 {
+				capacity = 1 << 20
+			}
+			live, err := hotcache.NewLive(capacity, 0)
+			if err != nil {
+				e.tier.Close()
+				return nil, err
+			}
+			e.cache = live
+		}
+		e.tier.AddSource(e.cache)
+	}
 	return e, nil
+}
+
+// Close releases the engine's tiered backing store (stopping its placement
+// sweep and removing the cold-tier file). A no-op for all-DRAM engines.
+// Callers must have stopped every in-flight inference first.
+func (e *Engine) Close() error {
+	if e.tier != nil {
+		return e.tier.Close()
+	}
+	return nil
 }
 
 // MaterializedProducts reports how many Cartesian products are physically
@@ -193,8 +229,10 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // LookupNS returns the modeled per-inference embedding-lookup latency with a
 // cold (or absent) hot-row cache — the conservative figure SLA admission
-// uses. See EffectiveLookupNS for the live-cache-adjusted value.
-func (e *Engine) LookupNS() float64 { return e.pipelineNS }
+// uses. With a tiered store attached it adds the residency-weighted
+// cold-tier bound, which at admission time (empty hot tier) is the fully
+// cold figure. See EffectiveLookupNS for the live-adjusted value.
+func (e *Engine) LookupNS() float64 { return e.pipelineNS + e.TierBoundNS() }
 
 // Gather resolves one query into the concatenated float feature vector,
 // walking the compiled gather plan over the *physical* layout: one access per
@@ -221,7 +259,12 @@ func (e *Engine) Gather(q embedding.Query, dst []float32) ([]float32, error) {
 					src := &gt.srcs[si]
 					row += (q[src.srcID][r] % src.actualRows) * src.stride
 				}
-				payload := gt.mat[row*dim : row*dim+dim]
+				var payload []float32
+				if gt.tier != nil {
+					payload = gt.tier.Row(row)
+				} else {
+					payload = gt.mat[row*dim : row*dim+dim]
+				}
 				seg := 0
 				for si := range gt.srcs {
 					src := &gt.srcs[si]

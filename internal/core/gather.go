@@ -9,6 +9,7 @@ import (
 	"microrec/internal/embedding"
 	"microrec/internal/hotcache"
 	"microrec/internal/memsim"
+	"microrec/internal/tieredstore"
 )
 
 // This file implements the batched gather datapath: a gather plan compiled
@@ -59,6 +60,9 @@ type gatherSource struct {
 	vecBytes int
 	// cacheID is the hot-row cache's key namespace for this access stream.
 	cacheID int
+	// tier, when non-nil, resolves this stream's rows through the tiered
+	// store instead of data (virtual path of a tiered engine).
+	tier *tieredstore.Stream
 }
 
 // gatherTable is one physical table's compiled lookup recipe.
@@ -68,7 +72,10 @@ type gatherTable struct {
 	dim      int64     // materialised row length (sum of source dims)
 	mat      []float32 // materialised product rows; nil => virtual path
 	cacheID  int       // cache key namespace of the materialised stream
-	srcs     []gatherSource
+	// tier, when non-nil, resolves the materialised rows through the tiered
+	// store instead of mat.
+	tier *tieredstore.Stream
+	srcs []gatherSource
 }
 
 // gatherPlan is the whole model's compiled gather schedule.
@@ -83,6 +90,10 @@ type gatherPlan struct {
 	// hot-row cache hit costs hitScale of a DRAM access, so the effective
 	// lookup latency is pipelineNS*(1 - hitRate*(1-hitScale)).
 	hitScale float64
+	// accessesPerItem is the total embedding-row accesses one inference
+	// performs across every stream — the multiplier the tiered store's
+	// per-access cold penalty scales by.
+	accessesPerItem float64
 }
 
 // compileGatherPlan builds the engine's gather plan from the placement plan,
@@ -150,8 +161,50 @@ func (e *Engine) compileGatherPlan() (gatherPlan, error) {
 		meanBytes = int(accBytes / accCount)
 	}
 	p.hitScale = memsim.OnChipTiming.AccessNS(meanBytes) / memsim.HBMTiming.AccessNS(meanBytes)
+	p.accessesPerItem = accCount
 	p.shards = e.shardByChannelGroup()
 	return p, nil
+}
+
+// attachTier opens the tiered backing store over every compiled access
+// stream and points the gather plan's row resolution at it. Called from
+// Build after compileGatherPlan when Config.ColdTier is set. The stream IDs
+// are the plan's cacheIDs, which compileGatherPlan assigns densely in table
+// order, so the spec list is already ID-sorted.
+func (e *Engine) attachTier() error {
+	var specs []tieredstore.StreamSpec
+	for ti := range e.gplan.tables {
+		gt := &e.gplan.tables[ti]
+		if gt.mat != nil {
+			specs = append(specs, tieredstore.StreamSpec{
+				ID: gt.cacheID, Data: gt.mat, Dim: int(gt.dim), Lookups: gt.lookups,
+			})
+			continue
+		}
+		for si := range gt.srcs {
+			s := &gt.srcs[si]
+			specs = append(specs, tieredstore.StreamSpec{
+				ID: s.cacheID, Data: s.data, Dim: s.dim, Lookups: s.lookups,
+			})
+		}
+	}
+	store, err := tieredstore.Open(*e.cfg.ColdTier, specs)
+	if err != nil {
+		return err
+	}
+	for ti := range e.gplan.tables {
+		gt := &e.gplan.tables[ti]
+		if gt.mat != nil {
+			gt.tier = store.Stream(gt.cacheID)
+			continue
+		}
+		for si := range gt.srcs {
+			s := &gt.srcs[si]
+			s.tier = store.Stream(s.cacheID)
+		}
+	}
+	e.tier = store
+	return nil
 }
 
 // shardByChannelGroup groups physical tables by their assigned memory bank
@@ -294,7 +347,12 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 					if cache != nil {
 						cache.Lookup(gt.cacheID, row, gt.vecBytes)
 					}
-					payload := gt.mat[row*dim : row*dim+dim]
+					var payload []float32
+					if gt.tier != nil {
+						payload = gt.tier.Row(row)
+					} else {
+						payload = gt.mat[row*dim : row*dim+dim]
+					}
 					out := s.x[qi*w : qi*w+e.featureLen]
 					seg := 0
 					for si := range gt.srcs {
@@ -320,7 +378,12 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 					if cache != nil {
 						cache.Lookup(src.cacheID, mrow, src.vecBytes)
 					}
-					vec := src.data[mrow*d64 : mrow*d64+d64]
+					var vec []float32
+					if src.tier != nil {
+						vec = src.tier.Row(mrow)
+					} else {
+						vec = src.data[mrow*d64 : mrow*d64+d64]
+					}
 					out := s.x[qi*w+off : qi*w+off+d]
 					for k := 0; k < d; k++ {
 						out[k] = f.Quantize(float64(vec[k]))
@@ -374,9 +437,10 @@ func (e *Engine) effectiveLookupNS(hitRate float64) float64 {
 	return e.pipelineNS * (1 - hitRate*(1-e.gplan.hitScale))
 }
 
-// HotCacheHitRate returns the live cache's current hit rate from its atomic
-// counters — no shard locks, cheap enough for per-batch serving reads; ok is
-// false when no cache is attached.
+// HotCacheHitRate returns the live cache's current hit rate, aggregated
+// coherently under the cache's shard locks — read once per batch by the
+// serving tier, which is cheap next to the gather itself; ok is false when
+// no cache is attached.
 func (e *Engine) HotCacheHitRate() (rate float64, ok bool) {
 	if e.cache == nil {
 		return 0, false
@@ -387,10 +451,116 @@ func (e *Engine) HotCacheHitRate() (rate float64, ok bool) {
 // EffectiveLookupNS returns the modeled per-inference embedding-lookup
 // latency at the live hot-row cache's current hit rate: a hit costs the
 // on-chip fraction of a DRAM access, so the plan latency shrinks as the
-// cache warms. Without a cache it equals LookupNS.
+// cache warms. Without a cache or cold tier it equals LookupNS.
+//
+// With a tiered store attached, the observed cold-read fraction adds a
+// tier-weighted penalty: accessesPerItem * (1 - cacheHitRate) *
+// coldReadRate * coldLatencyNS. The on-chip cache fronts the tier, so only
+// cache misses pay a backing-store access; treating the two rates as
+// independent is an approximation that underestimates correlation between
+// cache-missing and cold rows (both are tail rows), which the conservative
+// admission bound (LookupNS) covers.
 func (e *Engine) EffectiveLookupNS() float64 {
-	if e.cache == nil {
-		return e.pipelineNS
+	hr := 0.0
+	if e.cache != nil {
+		hr = e.cache.HitRate()
 	}
-	return e.effectiveLookupNS(e.cache.HitRate())
+	ns := e.effectiveLookupNS(hr)
+	if e.tier != nil {
+		ns += e.gplan.accessesPerItem * (1 - hr) * e.tier.ColdReadRate() * e.tier.ColdLatencyNS()
+	}
+	return ns
+}
+
+// ---- tiered backing store ----
+
+// TierStore returns the engine's tiered backing store, nil when the engine
+// is all-DRAM. The cluster tier uses it to register its per-shard caches as
+// placement-harvest sources.
+func (e *Engine) TierStore() *tieredstore.Store { return e.tier }
+
+// Tier snapshots the tiered store; ok is false for an all-DRAM engine.
+func (e *Engine) Tier() (tieredstore.Snapshot, bool) {
+	if e.tier == nil {
+		return tieredstore.Snapshot{}, false
+	}
+	return e.tier.Snapshot(), true
+}
+
+// TierBoundNS returns the residency-weighted per-inference cold-tier
+// latency bound (0 for an all-DRAM engine). See tieredstore.Store.BoundNS.
+func (e *Engine) TierBoundNS() float64 {
+	if e.tier == nil {
+		return 0
+	}
+	return e.tier.BoundNS()
+}
+
+// PrefetchBatch touches the cold-tier pages a batch's gather will read,
+// fanning the page faults over a few goroutines. The serving tier calls it
+// from the pipeline's gather-stage Prepare hook, so a cold row's fault is
+// absorbed while filling that plane only — the other in-flight planes'
+// compute stages keep draining. Queries must already be validated; no-op
+// for an all-DRAM engine.
+func (e *Engine) PrefetchBatch(queries []embedding.Query) {
+	if e.tier == nil || len(queries) == 0 {
+		return
+	}
+	type ref struct {
+		id  int
+		row int64
+	}
+	var cold []ref
+	for ti := range e.gplan.tables {
+		gt := &e.gplan.tables[ti]
+		if gt.mat != nil {
+			for r := 0; r < gt.lookups; r++ {
+				for _, q := range queries {
+					var row int64
+					for si := range gt.srcs {
+						src := &gt.srcs[si]
+						row += (q[src.srcID][r] % src.actualRows) * src.stride
+					}
+					if !gt.tier.IsHot(row) {
+						cold = append(cold, ref{gt.cacheID, row})
+					}
+				}
+			}
+			continue
+		}
+		for si := range gt.srcs {
+			src := &gt.srcs[si]
+			for r := 0; r < src.lookups; r++ {
+				for _, q := range queries {
+					mrow := q[src.srcID][r] % src.actualRows
+					if !src.tier.IsHot(mrow) {
+						cold = append(cold, ref{src.cacheID, mrow})
+					}
+				}
+			}
+		}
+	}
+	if len(cold) == 0 {
+		return
+	}
+	workers := 4
+	if len(cold) < 64 {
+		workers = 1
+	}
+	chunk := (len(cold) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(cold); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cold) {
+			hi = len(cold)
+		}
+		wg.Add(1)
+		go func(refs []ref) {
+			defer wg.Done()
+			for _, c := range refs {
+				e.tier.Prefetch(c.id, c.row)
+			}
+		}(cold[lo:hi])
+	}
+	wg.Wait()
 }

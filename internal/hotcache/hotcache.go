@@ -26,6 +26,11 @@ type key struct {
 type entry struct {
 	key   key
 	bytes int
+	// hits counts lookups that found this entry resident, since insertion.
+	// The tiered store's placement sweep reads it as the row's access
+	// frequency; ResetStats leaves it alone (it describes the entry, not a
+	// measurement window).
+	hits int64
 }
 
 // Cache is a byte-capacity LRU of embedding rows.
@@ -63,6 +68,8 @@ func (c *Cache) Lookup(table int, row int64, bytes int) bool {
 	if el, ok := c.index[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		e := el.Value.(*entry)
+		e.hits++
 		return true
 	}
 	c.misses++
@@ -71,14 +78,24 @@ func (c *Cache) Lookup(table int, row int64, bytes int) bool {
 		if oldest == nil {
 			break
 		}
-		ev := oldest.Value.(entry)
+		ev := oldest.Value.(*entry)
 		c.used -= int64(ev.bytes)
 		delete(c.index, ev.key)
 		c.ll.Remove(oldest)
 	}
-	c.index[k] = c.ll.PushFront(entry{key: k, bytes: bytes})
+	c.index[k] = c.ll.PushFront(&entry{key: k, bytes: bytes})
 	c.used += int64(bytes)
 	return false
+}
+
+// ForEachEntry calls fn for every cached row, most- to least-recently used,
+// with the entry's byte size and per-entry hit count. Callers must not touch
+// the cache from fn.
+func (c *Cache) ForEachEntry(fn func(table int, row int64, bytes int, hits int64)) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		fn(e.key.table, e.key.row, e.bytes, e.hits)
+	}
 }
 
 // Stats summarises cache behaviour.

@@ -3,7 +3,6 @@ package hotcache
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultLiveShards is the shard count NewLive uses when the caller passes 0.
@@ -22,11 +21,14 @@ const DefaultLiveShards = 8
 // a mutex-protected LRU holding an equal slice of the byte capacity, so one
 // hot table spreads over every shard (using the full capacity) and
 // concurrent lookups against the same table land on different locks. Hit and
-// miss totals are kept in atomics so hit-rate reads never touch the shard
-// locks.
+// miss counts live in the per-shard caches and are only ever touched under
+// the shard lock, so a snapshot reads each shard's (hits, misses) pair
+// coherently — a reader can never observe a hit recorded without its lookup,
+// or a half-applied ResetStats. (An earlier design kept cache-wide totals in
+// atomics updated outside the locks; loading the two counters independently
+// let a stats reader racing traffic or a reset see torn, mutually
+// inconsistent pairs.)
 type Live struct {
-	hits     atomic.Int64
-	misses   atomic.Int64
 	shards   []liveShard
 	capacity int64
 }
@@ -90,49 +92,58 @@ func (l *Live) Lookup(id int, row int64, bytes int) bool {
 	s.mu.Lock()
 	hit := s.c.Lookup(id, row, bytes)
 	s.mu.Unlock()
-	if hit {
-		l.hits.Add(1)
-	} else {
-		l.misses.Add(1)
-	}
 	return hit
 }
 
-// HitRate returns hits/(hits+misses) (0 when idle) from the atomic totals —
-// no shard locks, so the serving hot path can read it per batch.
+// HitRate returns hits/(hits+misses) (0 when idle), aggregated one shard at
+// a time under the shard locks. The serving path reads it once per batch, so
+// the brief per-shard lock hold is negligible next to the gather itself.
 func (l *Live) HitRate() float64 {
-	h, m := l.hits.Load(), l.misses.Load()
-	if h+m == 0 {
-		return 0
-	}
-	return float64(h) / float64(h+m)
+	return l.Stats().HitRate()
 }
 
-// Stats aggregates a snapshot over all shards. Hit/miss totals come from the
-// atomic counters; per-shard occupancy is snapshotted one shard at a time,
-// so the aggregate is approximate under concurrent traffic (each shard's
-// numbers are individually consistent).
+// Stats aggregates a snapshot over all shards, one shard at a time under the
+// shard lock, so every shard contributes a coherent (hits, misses,
+// occupancy) triple. The cross-shard aggregate is still approximate under
+// concurrent traffic, but it can no longer be torn: each shard's hits and
+// misses were recorded by the same locked lookups.
 func (l *Live) Stats() Stats {
-	agg := Stats{Hits: l.hits.Load(), Misses: l.misses.Load()}
+	var agg Stats
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
 		st := s.c.Stats()
 		s.mu.Unlock()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
 		agg.UsedBytes += st.UsedBytes
 		agg.Entries += st.Entries
 	}
 	return agg
 }
 
-// ResetStats clears hit/miss counters, keeping cached contents.
+// ResetStats clears hit/miss counters, keeping cached contents. Each shard
+// resets under its lock, so a concurrent snapshot sees every shard either
+// before or after its reset — never a half-applied pair.
 func (l *Live) ResetStats() {
-	l.hits.Store(0)
-	l.misses.Store(0)
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
 		s.c.ResetStats()
+		s.mu.Unlock()
+	}
+}
+
+// ForEachEntry enumerates every cached row with its per-entry hit count,
+// shard by shard (each shard locked only while it is walked). The tiered
+// store's placement sweep uses this as its row-frequency signal: residency
+// in the LRU plus accumulated hits identify the rows worth pinning in the
+// DRAM hot tier.
+func (l *Live) ForEachEntry(fn func(id int, row int64, bytes int, hits int64)) {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.c.ForEachEntry(fn)
 		s.mu.Unlock()
 	}
 }

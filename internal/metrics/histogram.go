@@ -65,13 +65,33 @@ func (h *Histogram) bucket(v float64) int {
 	return i
 }
 
-// value returns the representative value of a bucket: the midpoint of its
-// (gamma^i, gamma^(i+1)] range, which bounds the relative error at eps.
-func (h *Histogram) value(i int) float64 {
+// bucketRange returns the value range a bucket covers for interpolation:
+// nominally (gamma^i, gamma^(i+1)], with bucket 0 opening down to 0 (it
+// absorbs every sub-unit value) and the edges clamped into the exactly
+// tracked [min, max] — the first occupied bucket contains min, the last
+// contains max, and the overflow bucket holds values well past its nominal
+// upper edge.
+func (h *Histogram) bucketRange(i int) (lo, hi float64) {
 	if i == 0 {
-		return 1
+		lo = 0
+	} else {
+		lo = math.Pow(h.gamma, float64(i))
 	}
-	return math.Pow(h.gamma, float64(i)) * (1 + h.gamma) / 2
+	if i == len(h.counts)-1 {
+		hi = h.max
+	} else {
+		hi = math.Pow(h.gamma, float64(i+1))
+	}
+	if lo < h.min {
+		lo = h.min
+	}
+	if hi > h.max {
+		hi = h.max
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // Observe records one value. Negative values count as zero.
@@ -112,9 +132,9 @@ type HistogramSnapshot struct {
 	P999  float64 `json:"p999"`
 }
 
-// Snapshot summarises the histogram. Quantiles use the nearest-rank rule over
-// the bucket counts; the extreme ranks are clamped to the exact observed
-// min/max so an eps-wide bucket never reports a tail beyond reality.
+// Snapshot summarises the histogram. Quantiles locate the nearest-rank bucket
+// and interpolate within it by rank; bucket edges are clamped to the exact
+// observed min/max so an eps-wide bucket never reports a tail beyond reality.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -142,7 +162,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
-// quantileLocked returns the p-quantile by nearest rank. Callers hold h.mu.
+// quantileLocked locates the bucket holding the nearest-rank sample and
+// interpolates within it by rank: the rank's relative position among the
+// bucket's occupants maps linearly onto the bucket's (clamped) value range.
+// Returning a fixed per-bucket representative instead would bias every
+// quantile toward one edge of a wide bucket — catastrophically so in the
+// clamped overflow and sub-unit buckets, whose real value span is unbounded
+// by gamma. Callers hold h.mu.
 func (h *Histogram) quantileLocked(p float64) float64 {
 	rank := uint64(math.Ceil(p * float64(h.count)))
 	if rank < 1 {
@@ -150,19 +176,21 @@ func (h *Histogram) quantileLocked(p float64) float64 {
 	}
 	var cum uint64
 	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			v := h.value(i)
-			// Clamp into the exactly tracked range: the first and last
-			// occupied buckets contain min and max respectively.
-			if v < h.min {
-				v = h.min
+		if cum+c >= rank && c > 0 {
+			lo, hi := h.bucketRange(i)
+			// Midpoint rule: rank r of c occupants sits at fraction
+			// (r-0.5)/c through the bucket, so a single occupant reports
+			// the bucket middle and c occupants spread evenly across it.
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			if frac < 0 {
+				frac = 0
 			}
-			if v > h.max {
-				v = h.max
+			if frac > 1 {
+				frac = 1
 			}
-			return v
+			return lo + (hi-lo)*frac
 		}
+		cum += c
 	}
 	return h.max
 }

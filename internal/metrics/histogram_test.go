@@ -202,3 +202,81 @@ func TestHistogramBelowSmallestBucket(t *testing.T) {
 		t.Fatalf("tail %+v", snap)
 	}
 }
+
+// TestHistogramOverflowBucketInterpolation pins the wide-bucket quantile bug:
+// when every observation clamps into the overflow bucket (values beyond the
+// configured maxValue), the nearest-rank answer used to collapse to the
+// bucket's clamped lower edge — reporting p50 = min for a distribution
+// spanning 2000..10000. Rank interpolation within the bucket must recover the
+// interior quantiles.
+func TestHistogramOverflowBucketInterpolation(t *testing.T) {
+	h := NewHistogram(0.01, 1000) // maxValue 1000: everything below lands beyond the last resolved bucket
+	n := 8001
+	for i := 0; i < n; i++ {
+		h.Observe(2000 + float64(i)) // uniform over [2000, 10000]
+	}
+	snap := h.Snapshot()
+	for _, q := range []struct {
+		name string
+		got  float64
+		p    float64
+	}{
+		{"p50", snap.P50, 0.5},
+		{"p95", snap.P95, 0.95},
+		{"p99", snap.P99, 0.99},
+	} {
+		exact := 2000 + q.p*8000
+		if relErr := math.Abs(q.got-exact) / exact; relErr > 0.05 {
+			t.Errorf("%s = %v, exact %v (rel err %.3f): overflow-bucket quantile collapsed", q.name, q.got, exact, relErr)
+		}
+	}
+	if snap.P50 >= snap.P95 || snap.P95 >= snap.P99 {
+		t.Errorf("quantiles not strictly ordered inside the overflow bucket: %+v", snap)
+	}
+}
+
+// TestHistogramSubUnitBucketInterpolation pins the same bug at the other
+// clamped edge: a distribution living entirely inside bucket 0 (sub-unit
+// values) used to report every quantile as the clamped bucket representative
+// (= max), biasing p50 to the top of the range.
+func TestHistogramSubUnitBucketInterpolation(t *testing.T) {
+	h := NewHistogram(0.01, 1e6)
+	n := 901
+	for i := 0; i < n; i++ {
+		h.Observe(0.05 + 0.001*float64(i)) // uniform over [0.05, 0.95]
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.4 || p50 > 0.6 {
+		t.Errorf("p50 = %v for uniform [0.05, 0.95], want ~0.5", p50)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 <= p50 {
+		t.Errorf("p90 %v <= p50 %v inside bucket 0", p90, p50)
+	}
+}
+
+// TestHistogramRelativeErrorBound asserts the documented eps relative-error
+// contract across magnitudes (1e0..1e6, log-uniform) for several resolutions:
+// every reported quantile lands within 2*eps of the exact sample quantile
+// (the bucket width is a factor of gamma = (1+eps)/(1-eps), so any in-bucket
+// answer is within gamma-1 ~= 2*eps of the truth).
+func TestHistogramRelativeErrorBound(t *testing.T) {
+	for _, eps := range []float64{0.005, 0.01, 0.02} {
+		rng := rand.New(rand.NewSource(42))
+		h := NewHistogram(eps, 1e7)
+		samples := make([]float64, 30000)
+		for i := range samples {
+			samples[i] = math.Pow(10, 6*rng.Float64()) // log-uniform 1..1e6
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+			rank := int(math.Ceil(p*float64(len(samples)))) - 1
+			exact := samples[rank]
+			got := h.Quantile(p)
+			if relErr := math.Abs(got-exact) / exact; relErr > 2*eps {
+				t.Errorf("eps=%v p%v: got %v, exact %v (rel err %.5f > %.5f)", eps, p*100, got, exact, relErr, 2*eps)
+			}
+		}
+	}
+}

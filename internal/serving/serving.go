@@ -36,6 +36,7 @@ import (
 	"microrec/internal/metrics"
 	"microrec/internal/pipeline"
 	"microrec/internal/sla"
+	"microrec/internal/tieredstore"
 )
 
 // ErrServerClosed is returned by Submit after Close.
@@ -82,6 +83,22 @@ type Engine interface {
 	HotCacheHitRate() (float64, bool)
 	// HotCache snapshots the live cache, if one is attached.
 	HotCache() (core.HotCacheInfo, bool)
+}
+
+// TieredEngine is the optional seam an engine with a tiered backing store
+// (Config.ColdTier) grows: a tier snapshot for /stats and the cold-row
+// prefetch pass the drains run at plane-fill time, so a cold row's modeled
+// fault is absorbed while filling that plane only instead of serialising
+// into the gather. It is type-asserted rather than folded into Engine so
+// the overload tests' fake engines (and any all-DRAM deployment) need not
+// implement it. *core.Engine and *cluster.Cluster both satisfy it; the
+// server only engages the hooks when Tier reports an attached store.
+type TieredEngine interface {
+	// Tier snapshots the tiered backing store; ok is false on an all-DRAM
+	// engine.
+	Tier() (tieredstore.Snapshot, bool)
+	// PrefetchBatch touches the cold rows a batch will gather.
+	PrefetchBatch(queries []embedding.Query)
 }
 
 // Options configures a Server. The zero value gets sensible defaults.
@@ -263,7 +280,11 @@ type Server struct {
 	// which Close must stop after the drain has emptied.
 	clu         *cluster.Cluster
 	ownsCluster bool
-	wg          sync.WaitGroup
+	// tiered is non-nil when the engine carries a tiered backing store: the
+	// drains run its cold-row prefetch pass at plane-fill time and /stats
+	// gains a "tiers" section.
+	tiered TieredEngine
+	wg     sync.WaitGroup
 
 	// Admission counters (see AdmissionStats).
 	shed          atomic.Uint64
@@ -360,6 +381,13 @@ func New(eng Engine, opts Options) (*Server, error) {
 		latencyUS:   metrics.NewRolling(opts.StatsWindow),
 		occupancy:   metrics.NewRolling(opts.StatsWindow),
 		timingCache: make(map[timingKey]core.TimingReport),
+	}
+	// The assertion runs on the possibly cluster-wrapped engine so the
+	// sharded tier's delegating hooks are the ones engaged.
+	if te, ok := eng.(TieredEngine); ok {
+		if _, attached := te.Tier(); attached {
+			s.tiered = te
+		}
 	}
 	if opts.WorkerPool {
 		s.wg.Add(1 + opts.Workers)
@@ -638,6 +666,9 @@ func (s *Server) worker() {
 		for _, r := range batch {
 			queries = append(queries, r.q)
 		}
+		if s.tiered != nil {
+			s.tiered.PrefetchBatch(queries)
+		}
 		t0 := time.Now()
 		_, err := s.eng.InferBatchValidated(queries, preds[:len(batch)], &scratch)
 		s.wpServiceNS.Add(int64(time.Since(t0)))
@@ -692,6 +723,13 @@ func (s *Server) prepare(payload interface{}, queries []embedding.Query) []embed
 		}
 	}
 	pb.reqs = live
+	// Warm the cold tier for the surviving queries before the gather stage
+	// commits: the prefetch fans the plane's cold rows out here, so a cold
+	// row's modeled fault stalls only this plane's fill while the GEMM stage
+	// keeps draining earlier planes.
+	if s.tiered != nil && len(kept) > 0 {
+		s.tiered.PrefetchBatch(kept)
+	}
 	return kept
 }
 
@@ -736,8 +774,8 @@ func (s *Server) complete(batch []*request, preds []float32, err error) {
 // timing returns the modeled timing report for a batch size at the engine's
 // current effective lookup latency, cached per (size, hit-rate bucket) — the
 // report is deterministic in those inputs at percent granularity. The bucket
-// comes from the cache's lock-free atomic counters, so the per-batch call
-// stays off the gather path's shard locks.
+// comes from a coherent snapshot of the cache's per-shard counters (one
+// brief lock acquisition per shard), cheap enough for a per-batch call.
 func (s *Server) timing(items int) (core.TimingReport, error) {
 	key := timingKey{items: items}
 	if hr, ok := s.eng.HotCacheHitRate(); ok {
@@ -800,6 +838,11 @@ type PipelineStats = pipeline.Snapshot
 // imbalance ratio.
 type ClusterStats = cluster.Stats
 
+// TierStats is the serving-side view of the tiered backing store: per-tier
+// residency, read split, promotion/demotion counters and the current
+// cold-latency bound.
+type TierStats = tieredstore.Snapshot
+
 // AdmissionStats is the /stats view of the admission gate: current queue
 // pressure, the shed and drop counters, and the server's own estimate of its
 // knee — the offered load beyond which it starts shedding.
@@ -859,6 +902,9 @@ type Stats struct {
 	// HotCache reports the engine's live hot-row cache when one is
 	// attached (nil otherwise).
 	HotCache *HotCacheStats `json:"hotcache,omitempty"`
+	// Tiers reports the tiered backing store when one is attached (nil on
+	// all-DRAM engines).
+	Tiers *TierStats `json:"tiers,omitempty"`
 }
 
 // Mode reports the server's drain mode: "pipeline" or "worker-pool".
@@ -913,6 +959,11 @@ func (s *Server) Stats() Stats {
 	}
 	if st.MaxBatch > 0 {
 		st.BatchOccupancy = st.MeanBatch / float64(st.MaxBatch)
+	}
+	if s.tiered != nil {
+		if snap, ok := s.tiered.Tier(); ok {
+			st.Tiers = &snap
+		}
 	}
 	if info, ok := s.eng.HotCache(); ok {
 		st.HotCache = &HotCacheStats{

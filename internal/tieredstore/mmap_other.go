@@ -1,0 +1,22 @@
+//go:build !unix
+
+package tieredstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap falls back to reading the whole
+// cold file into memory: functionally identical (same bits, same offsets),
+// with the cold-tier latency still modeled rather than physical.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	b := make([]byte, size)
+	n, err := f.ReadAt(b, 0)
+	if err != nil && n != size {
+		return nil, fmt.Errorf("tieredstore: read cold file: %w", err)
+	}
+	return b, nil
+}
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package tieredstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The mapping is shared with the
+// page cache, so cold-row reads fault pages in on demand — the behaviour
+// the modeled cold-tier latency stands in for.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,624 @@
+// Package tieredstore implements a two-tier embedding backing store: hot
+// rows are pinned in DRAM while the full row set lives in an mmap'd cold
+// file with a modeled per-access latency, in the style of the repo's
+// dramsim/memsim timing models.
+//
+// The motivation is the frequency skew of production embedding traffic
+// (RecFlash, RecSSD): the hot minority of rows absorbs most accesses, so
+// pinning them in a DRAM budget far smaller than the model lets tables grow
+// well past machine memory while the long tail pays a bounded, modeled
+// cold-tier latency. Placement is decided by per-row access frequency
+// harvested from the live hot-row cache (hotcache.Live residency plus
+// per-entry hit counts) by a background promote/demote sweep with
+// hysteresis.
+//
+// Bit-identity by construction: the cold file holds the exact float32 bits
+// of every stream's rows, and a promotion copies those bits into the DRAM
+// hot tier, so a gather reads identical values whichever tier serves the
+// row — placement can change under a running batch without perturbing a
+// single prediction.
+package tieredstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"microrec/internal/hotcache"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultColdLatencyNS models one cold-tier row access: NVMe-read scale,
+	// two orders of magnitude above the DRAM lookup path.
+	DefaultColdLatencyNS = 20000
+	// DefaultPromoteMinHits is the per-entry hit count a resident row needs
+	// before the sweep considers it hot.
+	DefaultPromoteMinHits = 2
+	// DefaultDemoteAfter is how many consecutive sweeps a pinned row may go
+	// unseen in the harvest before it is demoted (the hysteresis band).
+	DefaultDemoteAfter = 3
+	// DefaultSweepEvery is the background sweep period.
+	DefaultSweepEvery = 200 * time.Millisecond
+)
+
+// Config describes one tiered store.
+type Config struct {
+	// Path is the cold-tier backing file. Empty means a temp file. The store
+	// owns the file either way — it is created (truncated) at Open and
+	// removed at Close — so the path must be unique per store.
+	Path string
+	// ColdLatencyNS is the modeled latency of one cold-tier row access
+	// (DefaultColdLatencyNS when 0).
+	ColdLatencyNS float64
+	// HotBytes is the DRAM hot-tier byte budget. When 0 it defaults to a
+	// quarter of the tierable bytes — i.e. the model is 4x larger than the
+	// hot tier out of the box. Explicit all-cold operation is HotBytes < 0
+	// (normalised to a zero budget).
+	HotBytes int64
+	// PromoteMinHits and DemoteAfter tune the placement hysteresis
+	// (defaults above when 0).
+	PromoteMinHits int64
+	DemoteAfter    int
+	// SweepEvery is the background promote/demote period. 0 means
+	// DefaultSweepEvery; negative disables the background loop entirely
+	// (tests drive placement via SweepNow/SetPlacement).
+	SweepEvery time.Duration
+}
+
+// Validate rejects nonsense configurations.
+func (c Config) Validate() error {
+	if c.ColdLatencyNS < 0 {
+		return fmt.Errorf("tieredstore: negative cold latency %v ns", c.ColdLatencyNS)
+	}
+	if c.PromoteMinHits < 0 {
+		return fmt.Errorf("tieredstore: negative promote threshold %d", c.PromoteMinHits)
+	}
+	if c.DemoteAfter < 0 {
+		return fmt.Errorf("tieredstore: negative demote-after %d", c.DemoteAfter)
+	}
+	return nil
+}
+
+func (c Config) withDefaults(totalBytes int64) Config {
+	if c.ColdLatencyNS == 0 {
+		c.ColdLatencyNS = DefaultColdLatencyNS
+	}
+	if c.HotBytes == 0 {
+		c.HotBytes = totalBytes / 4
+	}
+	if c.HotBytes < 0 {
+		c.HotBytes = 0
+	}
+	if c.PromoteMinHits == 0 {
+		c.PromoteMinHits = DefaultPromoteMinHits
+	}
+	if c.DemoteAfter == 0 {
+		c.DemoteAfter = DefaultDemoteAfter
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = DefaultSweepEvery
+	}
+	return c
+}
+
+// StreamSpec describes one access stream to back: a row-major float32
+// payload, its row length, and the per-inference lookup count against it
+// (for the latency bound). IDs must be dense 0..n-1 in slice order — they
+// are the gather plan's cache/access-stream IDs.
+type StreamSpec struct {
+	ID      int
+	Data    []float32
+	Dim     int
+	Lookups int
+}
+
+// hotEntry is one pinned row in the sweep's master state.
+type hotEntry struct {
+	vec  []float32
+	idle int // consecutive sweeps without a harvest sighting
+}
+
+// hotMap is the published (copy-on-write) placement of one stream: readers
+// load it wait-free via Stream.hot, the sweep replaces it wholesale. A
+// superseded map stays valid for any gather still holding it, which is what
+// makes mid-batch demotion safe.
+type hotMap struct {
+	rows map[int64][]float32
+}
+
+// Stream is one access stream's view of the store: the gather datapath
+// resolves rows through it instead of the original DRAM slice.
+type Stream struct {
+	id       int
+	dim      int64
+	rows     int64
+	lookups  int
+	vecBytes int64
+	cold     []float32 // this stream's window of the mmap'd cold file
+	hot      atomic.Pointer[hotMap]
+
+	hotReads  atomic.Int64
+	coldReads atomic.Int64
+}
+
+// Row returns row `row` of the stream: the pinned DRAM copy when the row is
+// hot, otherwise a slice of the mmap'd cold file. Both hold identical
+// float32 bits. Wait-free and allocation-free.
+func (st *Stream) Row(row int64) []float32 {
+	if m := st.hot.Load(); m != nil {
+		if v, ok := m.rows[row]; ok {
+			st.hotReads.Add(1)
+			return v
+		}
+	}
+	st.coldReads.Add(1)
+	return st.cold[row*st.dim : (row+1)*st.dim]
+}
+
+// IsHot reports whether the row is currently pinned (placement may change at
+// the next sweep).
+func (st *Stream) IsHot(row int64) bool {
+	m := st.hot.Load()
+	if m == nil {
+		return false
+	}
+	_, ok := m.rows[row]
+	return ok
+}
+
+// Rows returns the stream's row count.
+func (st *Stream) Rows() int64 { return st.rows }
+
+// Store is the two-tier backing store for a set of access streams.
+type Store struct {
+	cfg        Config
+	path       string
+	f          *os.File
+	mapped     []byte
+	streams    []*Stream
+	totalBytes int64
+
+	mu       sync.Mutex
+	sources  []*hotcache.Live
+	master   []map[int64]*hotEntry // per stream, sweep-owned
+	hotBytes int64
+	closed   bool
+
+	promotions atomic.Int64
+	demotions  atomic.Int64
+	sweeps     atomic.Int64
+	prefetches atomic.Int64
+	// prefetchSink keeps prefetch loads observable so they cannot be elided.
+	prefetchSink atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// floatBytes views a float32 slice as raw bytes (host endianness — the cold
+// file is process-private scratch, written and mapped by the same process).
+func floatBytes(f []float32) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*4)
+}
+
+// Open creates the cold-tier file, writes every stream's payload into it,
+// maps it read-only, and starts the background placement sweep (unless
+// cfg.SweepEvery < 0). The caller must Close the store to stop the sweep,
+// unmap, and remove the file.
+func Open(cfg Config, specs []StreamSpec) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("tieredstore: no streams")
+	}
+	var total int64
+	for i, sp := range specs {
+		if sp.ID != i {
+			return nil, fmt.Errorf("tieredstore: stream %d has ID %d, want dense IDs", i, sp.ID)
+		}
+		if sp.Dim <= 0 || len(sp.Data) == 0 || len(sp.Data)%sp.Dim != 0 {
+			return nil, fmt.Errorf("tieredstore: stream %d: %d floats, dim %d", i, len(sp.Data), sp.Dim)
+		}
+		total += int64(len(sp.Data)) * 4
+	}
+	cfg = cfg.withDefaults(total)
+
+	var (
+		f   *os.File
+		err error
+	)
+	if cfg.Path == "" {
+		f, err = os.CreateTemp("", "microrec-coldtier-*.bin")
+	} else {
+		f, err = os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tieredstore: cold file: %w", err)
+	}
+	s := &Store{cfg: cfg, path: f.Name(), f: f, totalBytes: total}
+	for _, sp := range specs {
+		if _, err := f.Write(floatBytes(sp.Data)); err != nil {
+			f.Close()
+			os.Remove(s.path)
+			return nil, fmt.Errorf("tieredstore: write cold file: %w", err)
+		}
+	}
+	if s.mapped, err = mapFile(f, int(total)); err != nil {
+		f.Close()
+		os.Remove(s.path)
+		return nil, fmt.Errorf("tieredstore: map cold file: %w", err)
+	}
+	cold := unsafe.Slice((*float32)(unsafe.Pointer(&s.mapped[0])), total/4)
+	off := int64(0)
+	s.streams = make([]*Stream, len(specs))
+	s.master = make([]map[int64]*hotEntry, len(specs))
+	for i, sp := range specs {
+		n := int64(len(sp.Data))
+		s.streams[i] = &Stream{
+			id:       i,
+			dim:      int64(sp.Dim),
+			rows:     n / int64(sp.Dim),
+			lookups:  sp.Lookups,
+			vecBytes: int64(sp.Dim) * 4,
+			cold:     cold[off : off+n],
+		}
+		off += n
+	}
+	if cfg.SweepEvery > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.loop()
+	}
+	return s, nil
+}
+
+// Stream returns the backing stream for access-stream id.
+func (s *Store) Stream(id int) *Stream { return s.streams[id] }
+
+// Streams returns the stream count.
+func (s *Store) Streams() int { return len(s.streams) }
+
+// Path returns the cold-tier file path.
+func (s *Store) Path() string { return s.path }
+
+// TotalBytes returns the tierable bytes (the whole cold file).
+func (s *Store) TotalBytes() int64 { return s.totalBytes }
+
+// ColdLatencyNS returns the modeled per-access cold-tier latency.
+func (s *Store) ColdLatencyNS() float64 { return s.cfg.ColdLatencyNS }
+
+// HotBudgetBytes returns the (defaulted) DRAM hot-tier budget.
+func (s *Store) HotBudgetBytes() int64 { return s.cfg.HotBytes }
+
+// AddSource registers a live hot-row cache whose residency and per-entry hit
+// counts the placement sweep harvests. The engine registers its own cache;
+// the cluster tier additionally registers its per-shard caches.
+func (s *Store) AddSource(l *hotcache.Live) {
+	if l == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, l)
+	s.mu.Unlock()
+}
+
+func (s *Store) loop() {
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			close(s.done)
+			return
+		case <-t.C:
+			s.SweepNow()
+		}
+	}
+}
+
+type streamRow struct {
+	id  int
+	row int64
+}
+
+// SweepNow runs one synchronous promote/demote pass: harvest row frequencies
+// from the registered caches, score rows, and repin the hot tier within the
+// byte budget.
+//
+// Policy: a row qualifies when it is resident in a source cache with at
+// least PromoteMinHits per-entry hits (LRU residency is the recency filter,
+// accumulated hits the frequency signal). Qualifying rows rank by hits;
+// already-pinned rows that fell out of the harvest keep their pin at the
+// lowest priority for up to DemoteAfter sweeps (hysteresis), so a row
+// oscillating around the threshold is not thrashed between tiers, and under
+// budget pressure idle rows are evicted before any active one.
+func (s *Store) SweepNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.sweeps.Add(1)
+
+	cand := make(map[streamRow]int64)
+	for _, src := range s.sources {
+		src.ForEachEntry(func(id int, row int64, bytes int, hits int64) {
+			if id >= 0 && id < len(s.streams) {
+				cand[streamRow{id, row}] += hits
+			}
+		})
+	}
+
+	type scored struct {
+		streamRow
+		score int64
+		ent   *hotEntry // nil for a prospective promotion
+	}
+	var list []scored
+	pinned := make(map[streamRow]bool)
+	for id, m := range s.master {
+		for row, ent := range m {
+			k := streamRow{id, row}
+			pinned[k] = true
+			if h, ok := cand[k]; ok && h >= s.cfg.PromoteMinHits {
+				ent.idle = 0
+				list = append(list, scored{k, h, ent})
+				continue
+			}
+			ent.idle++
+			if ent.idle <= s.cfg.DemoteAfter {
+				// Hysteresis: keep the pin at the lowest priority, so an
+				// oscillating row is not thrashed between tiers but budget
+				// pressure evicts idle rows before active ones.
+				list = append(list, scored{k, 0, ent})
+			}
+		}
+	}
+	for k, h := range cand {
+		if h >= s.cfg.PromoteMinHits && !pinned[k] {
+			list = append(list, scored{k, h, nil})
+		}
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].score != list[b].score {
+			return list[a].score > list[b].score
+		}
+		if list[a].id != list[b].id {
+			return list[a].id < list[b].id
+		}
+		return list[a].row < list[b].row
+	})
+
+	newMaster := make([]map[int64]*hotEntry, len(s.streams))
+	var used, promoted int64
+	for _, c := range list {
+		st := s.streams[c.id]
+		if used+st.vecBytes > s.cfg.HotBytes {
+			continue // smaller rows of other streams may still fit
+		}
+		ent := c.ent
+		if ent == nil {
+			vec := make([]float32, st.dim)
+			copy(vec, st.cold[c.row*st.dim:(c.row+1)*st.dim])
+			ent = &hotEntry{vec: vec}
+			promoted++
+		}
+		if newMaster[c.id] == nil {
+			newMaster[c.id] = make(map[int64]*hotEntry)
+		}
+		newMaster[c.id][c.row] = ent
+		used += st.vecBytes
+	}
+	// A demotion is any previously pinned row absent from the new placement,
+	// whether it idled past the hysteresis band or lost the budget race.
+	var demoted int64
+	for k := range pinned {
+		if newMaster[k.id] == nil || newMaster[k.id][k.row] == nil {
+			demoted++
+		}
+	}
+	s.publishLocked(newMaster, used)
+	s.promotions.Add(promoted)
+	s.demotions.Add(demoted)
+}
+
+// publishLocked swaps in a new master placement and publishes the per-stream
+// read-only maps. Callers hold s.mu.
+func (s *Store) publishLocked(newMaster []map[int64]*hotEntry, usedBytes int64) {
+	for id, st := range s.streams {
+		m := newMaster[id]
+		if len(m) == 0 {
+			st.hot.Store(nil)
+			continue
+		}
+		pub := make(map[int64][]float32, len(m))
+		for row, ent := range m {
+			pub[row] = ent.vec
+		}
+		st.hot.Store(&hotMap{rows: pub})
+	}
+	s.master = newMaster
+	s.hotBytes = usedBytes
+}
+
+// SetPlacement force-pins exactly the given rows of stream id, replacing its
+// current placement and bypassing the frequency policy and byte budget. Rows
+// out of range are ignored; nil clears the stream's hot set. Test hook for
+// the bit-identity property tests.
+func (s *Store) SetPlacement(id int, rows []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || id < 0 || id >= len(s.streams) {
+		return
+	}
+	st := s.streams[id]
+	old := s.master[id]
+	var m map[int64]*hotEntry
+	for _, row := range rows {
+		if row < 0 || row >= st.rows {
+			continue
+		}
+		if m == nil {
+			m = make(map[int64]*hotEntry)
+		}
+		if e, ok := old[row]; ok {
+			m[row] = e
+			continue
+		}
+		vec := make([]float32, st.dim)
+		copy(vec, st.cold[row*st.dim:(row+1)*st.dim])
+		m[row] = &hotEntry{vec: vec}
+	}
+	next := make([]map[int64]*hotEntry, len(s.streams))
+	copy(next, s.master)
+	next[id] = m
+	var used int64
+	for sid, sm := range next {
+		used += int64(len(sm)) * s.streams[sid].vecBytes
+	}
+	s.publishLocked(next, used)
+}
+
+// Prefetch touches the cold copy of one row so its page is faulted in before
+// the synchronous gather needs it. Hot rows are skipped. Returns true when a
+// cold touch happened.
+func (s *Store) Prefetch(id int, row int64) bool {
+	if id < 0 || id >= len(s.streams) {
+		return false
+	}
+	st := s.streams[id]
+	if row < 0 || row >= st.rows {
+		return false
+	}
+	if st.IsHot(row) {
+		return false
+	}
+	v := st.cold[row*st.dim]
+	s.prefetchSink.Add(int64(math.Float32bits(v)))
+	s.prefetches.Add(1)
+	return true
+}
+
+// BoundNS returns the residency-weighted per-inference cold-tier latency
+// bound: for each stream, its per-inference lookups times the fraction of
+// rows NOT pinned hot times the modeled cold latency. With an empty hot tier
+// (startup) this is the fully cold bound SLA admission memoizes; it is
+// conservative under skew, since pinned rows absorb far more than their
+// row-count share of accesses.
+func (s *Store) BoundNS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ns float64
+	for id, st := range s.streams {
+		coldFrac := 1 - float64(len(s.master[id]))/float64(st.rows)
+		ns += float64(st.lookups) * coldFrac * s.cfg.ColdLatencyNS
+	}
+	return ns
+}
+
+// ColdReadRate returns the observed fraction of row reads served by the cold
+// tier (1 when idle — conservative until traffic arrives).
+func (s *Store) ColdReadRate() float64 {
+	var hot, cold int64
+	for _, st := range s.streams {
+		hot += st.hotReads.Load()
+		cold += st.coldReads.Load()
+	}
+	if hot+cold == 0 {
+		return 1
+	}
+	return float64(cold) / float64(hot+cold)
+}
+
+// Snapshot is a point-in-time view of the store for /stats and reports.
+type Snapshot struct {
+	Path           string  `json:"path"`
+	ColdLatencyNS  float64 `json:"cold_latency_ns"`
+	HotBudgetBytes int64   `json:"hot_budget_bytes"`
+	TotalBytes     int64   `json:"total_bytes"`
+	HotRows        int64   `json:"hot_rows"`
+	ColdRows       int64   `json:"cold_rows"`
+	HotBytes       int64   `json:"hot_bytes"`
+	HotReads       int64   `json:"hot_reads"`
+	ColdReads      int64   `json:"cold_reads"`
+	// HotReadRate is HotReads/(HotReads+ColdReads), 0 when idle.
+	HotReadRate float64 `json:"hot_read_rate"`
+	Promotions  int64   `json:"promotions"`
+	Demotions   int64   `json:"demotions"`
+	Sweeps      int64   `json:"sweeps"`
+	Prefetches  int64   `json:"prefetches"`
+	// BoundNS is the current residency-weighted per-inference cold-tier
+	// latency bound (see Store.BoundNS).
+	BoundNS float64 `json:"bound_ns"`
+}
+
+// Snapshot summarises the store.
+func (s *Store) Snapshot() Snapshot {
+	snap := Snapshot{
+		Path:           s.path,
+		ColdLatencyNS:  s.cfg.ColdLatencyNS,
+		HotBudgetBytes: s.cfg.HotBytes,
+		TotalBytes:     s.totalBytes,
+		Promotions:     s.promotions.Load(),
+		Demotions:      s.demotions.Load(),
+		Sweeps:         s.sweeps.Load(),
+		Prefetches:     s.prefetches.Load(),
+		BoundNS:        s.BoundNS(),
+	}
+	s.mu.Lock()
+	for id, st := range s.streams {
+		snap.HotRows += int64(len(s.master[id]))
+		snap.ColdRows += st.rows - int64(len(s.master[id]))
+	}
+	snap.HotBytes = s.hotBytes
+	s.mu.Unlock()
+	var hot, cold int64
+	for _, st := range s.streams {
+		hot += st.hotReads.Load()
+		cold += st.coldReads.Load()
+	}
+	snap.HotReads, snap.ColdReads = hot, cold
+	if hot+cold > 0 {
+		snap.HotReadRate = float64(hot) / float64(hot+cold)
+	}
+	return snap
+}
+
+// Close stops the sweep loop, unmaps the cold file, and removes it. Safe to
+// call twice. Callers must have stopped every reader first: a Row on a
+// closed store reads unmapped memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+	}
+	var first error
+	if err := unmapFile(s.mapped); err != nil {
+		first = err
+	}
+	s.mapped = nil
+	if err := s.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := os.Remove(s.path); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

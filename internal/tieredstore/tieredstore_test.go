@@ -1,0 +1,287 @@
+package tieredstore
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"microrec/internal/hotcache"
+)
+
+// testSpecs builds two deterministic streams: stream 0 with 64 rows of dim
+// 4, stream 1 with 32 rows of dim 8.
+func testSpecs(t *testing.T) []StreamSpec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	mk := func(id, rows, dim, lookups int) StreamSpec {
+		data := make([]float32, rows*dim)
+		for i := range data {
+			data[i] = rng.Float32()*2 - 1
+		}
+		return StreamSpec{ID: id, Data: data, Dim: dim, Lookups: lookups}
+	}
+	return []StreamSpec{mk(0, 64, 4, 2), mk(1, 32, 8, 1)}
+}
+
+func openTest(t *testing.T, cfg Config) (*Store, []StreamSpec) {
+	t.Helper()
+	specs := testSpecs(t)
+	cfg.SweepEvery = -1 // tests drive sweeps explicitly
+	s, err := Open(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, specs
+}
+
+// TestColdReadsBitIdentical checks every row read back from the mmap'd cold
+// tier is bit-identical to the source payload, before and after promotions.
+func TestColdReadsBitIdentical(t *testing.T) {
+	s, specs := openTest(t, Config{})
+	for id, sp := range specs {
+		st := s.Stream(id)
+		if st.Rows() != int64(len(sp.Data)/sp.Dim) {
+			t.Fatalf("stream %d rows %d", id, st.Rows())
+		}
+		for row := int64(0); row < st.Rows(); row++ {
+			got := st.Row(row)
+			for k := 0; k < sp.Dim; k++ {
+				want := sp.Data[int(row)*sp.Dim+k]
+				if math.Float32bits(got[k]) != math.Float32bits(want) {
+					t.Fatalf("stream %d row %d[%d]: %v != %v", id, row, k, got[k], want)
+				}
+			}
+		}
+	}
+	// Pin half of stream 0 and re-check both tiers.
+	s.SetPlacement(0, []int64{0, 1, 2, 3, 30, 31, 62, 63})
+	st := s.Stream(0)
+	if !st.IsHot(31) || st.IsHot(29) {
+		t.Fatal("placement not applied")
+	}
+	for row := int64(0); row < st.Rows(); row++ {
+		got := st.Row(row)
+		for k := 0; k < specs[0].Dim; k++ {
+			want := specs[0].Data[int(row)*specs[0].Dim+k]
+			if math.Float32bits(got[k]) != math.Float32bits(want) {
+				t.Fatalf("post-placement row %d[%d]: %v != %v", row, k, got[k], want)
+			}
+		}
+	}
+}
+
+// TestSweepPromotesByFrequency drives traffic through a source cache and
+// checks the sweep pins the frequent rows, within the byte budget, ranked by
+// hits.
+func TestSweepPromotesByFrequency(t *testing.T) {
+	// Budget for exactly 3 rows of stream 0 (dim 4 => 16 bytes each).
+	s, _ := openTest(t, Config{HotBytes: 48, PromoteMinHits: 2, DemoteAfter: 1})
+	cache, err := hotcache.NewLive(1<<16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddSource(cache)
+	// Rows 5, 6, 7 of stream 0 get 10/5/3 hits; row 8 only 1 (below the
+	// threshold); row 9 of stream 1 gets 20 hits but each of its rows costs
+	// 32 bytes.
+	touch := func(id int, row int64, n int) {
+		for i := 0; i < n; i++ {
+			cache.Lookup(id, row, 16)
+		}
+	}
+	touch(0, 5, 11) // 1 miss + 10 hits
+	touch(0, 6, 6)
+	touch(0, 7, 4)
+	touch(0, 8, 2) // 1 hit: below PromoteMinHits
+	touch(1, 9, 21)
+
+	s.SweepNow()
+	st0, st1 := s.Stream(0), s.Stream(1)
+	// Ranking: (1,9) 20 hits = 32 bytes, then (0,5) 10 hits = 16 bytes;
+	// (0,6) would overflow the 48-byte budget... 32+16=48, so (0,6)/(0,7)
+	// are out.
+	if !st1.IsHot(9) {
+		t.Error("highest-frequency row not pinned")
+	}
+	if !st0.IsHot(5) {
+		t.Error("second-ranked row not pinned")
+	}
+	if st0.IsHot(6) || st0.IsHot(7) || st0.IsHot(8) {
+		t.Error("budget-overflowing or sub-threshold rows pinned")
+	}
+	snap := s.Snapshot()
+	if snap.HotBytes > 48 {
+		t.Errorf("hot bytes %d exceed budget", snap.HotBytes)
+	}
+	if snap.Promotions != 2 || snap.HotRows != 2 {
+		t.Errorf("promotions %d hot rows %d, want 2/2", snap.Promotions, snap.HotRows)
+	}
+}
+
+// TestSweepHysteresis checks a pinned row survives DemoteAfter sweeps
+// without traffic before demotion.
+func TestSweepHysteresis(t *testing.T) {
+	s, _ := openTest(t, Config{HotBytes: 1 << 16, PromoteMinHits: 2, DemoteAfter: 2})
+	cache, err := hotcache.NewLive(64, 1) // tiny: row falls out of the LRU fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddSource(cache)
+	for i := 0; i < 5; i++ {
+		cache.Lookup(0, 12, 16)
+	}
+	s.SweepNow()
+	if !s.Stream(0).IsHot(12) {
+		t.Fatal("frequent row not promoted")
+	}
+	// Evict row 12 from the cache: the harvest no longer sees it.
+	for i := 0; i < 8; i++ {
+		cache.Lookup(0, int64(40+i), 16)
+	}
+	if cache.Lookup(0, 12, 16) {
+		t.Fatal("test premise broken: row 12 still cache-resident")
+	}
+	// Remove the fresh rows too so nothing else promotes/interferes; the
+	// lookup above re-inserted row 12, so evict again with big rows.
+	cache.Lookup(0, 50, 64)
+
+	for i := 1; i <= 2; i++ {
+		s.SweepNow()
+		if !s.Stream(0).IsHot(12) {
+			t.Fatalf("row demoted after %d idle sweeps, hysteresis is %d", i, 2)
+		}
+	}
+	s.SweepNow() // third idle sweep: past the band
+	if s.Stream(0).IsHot(12) {
+		t.Fatal("row still pinned past the hysteresis band")
+	}
+	if d := s.Snapshot().Demotions; d < 1 {
+		t.Errorf("demotions %d, want >= 1", d)
+	}
+}
+
+// TestCloseRemovesFile pins the cleanup contract for both temp and explicit
+// paths, and that Close is idempotent.
+func TestCloseRemovesFile(t *testing.T) {
+	specs := testSpecs(t)
+	s, err := Open(Config{SweepEvery: -1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := s.Path()
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("temp cold file missing while open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp cold file survives Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	explicit := t.TempDir() + "/cold.bin"
+	s2, err := Open(Config{Path: explicit, SweepEvery: -1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Path() != explicit {
+		t.Fatalf("path %q", s2.Path())
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(explicit); !os.IsNotExist(err) {
+		t.Fatalf("explicit cold file survives Close: %v", err)
+	}
+}
+
+// TestBoundNS checks the residency-weighted latency bound: fully cold at
+// startup, shrinking as rows pin.
+func TestBoundNS(t *testing.T) {
+	s, _ := openTest(t, Config{ColdLatencyNS: 1000})
+	// Stream 0: 2 lookups, stream 1: 1 lookup — all cold.
+	if got, want := s.BoundNS(), 3000.0; got != want {
+		t.Fatalf("cold bound %v, want %v", got, want)
+	}
+	// Pin half of stream 0's 64 rows: its term halves.
+	rows := make([]int64, 32)
+	for i := range rows {
+		rows[i] = int64(i)
+	}
+	s.SetPlacement(0, rows)
+	if got, want := s.BoundNS(), 2.0*0.5*1000+1000; got != want {
+		t.Fatalf("half-hot bound %v, want %v", got, want)
+	}
+}
+
+// TestPrefetchAndCounters checks Prefetch touches only cold rows and the
+// read counters split by tier.
+func TestPrefetchAndCounters(t *testing.T) {
+	s, _ := openTest(t, Config{})
+	s.SetPlacement(0, []int64{3})
+	if s.Prefetch(0, 3) {
+		t.Error("prefetch touched a hot row")
+	}
+	if !s.Prefetch(0, 4) {
+		t.Error("prefetch skipped a cold row")
+	}
+	if s.Prefetch(0, -1) || s.Prefetch(0, 1<<40) || s.Prefetch(9, 0) {
+		t.Error("out-of-range prefetch accepted")
+	}
+	st := s.Stream(0)
+	st.Row(3)
+	st.Row(4)
+	snap := s.Snapshot()
+	if snap.HotReads != 1 || snap.ColdReads != 1 || snap.Prefetches != 1 {
+		t.Errorf("reads hot=%d cold=%d prefetches=%d, want 1/1/1", snap.HotReads, snap.ColdReads, snap.Prefetches)
+	}
+	if snap.HotReadRate != 0.5 {
+		t.Errorf("hot read rate %v", snap.HotReadRate)
+	}
+}
+
+// TestHotBytesDefault checks the 4x default: an unset budget becomes a
+// quarter of the tierable bytes.
+func TestHotBytesDefault(t *testing.T) {
+	s, specs := openTest(t, Config{})
+	var total int64
+	for _, sp := range specs {
+		total += int64(len(sp.Data)) * 4
+	}
+	if got := s.HotBudgetBytes(); got != total/4 {
+		t.Fatalf("default hot budget %d, want %d", got, total/4)
+	}
+	if s.TotalBytes() != total {
+		t.Fatalf("total bytes %d, want %d", s.TotalBytes(), total)
+	}
+	// Explicit all-cold: negative budget normalises to zero.
+	s2, err := Open(Config{HotBytes: -1, SweepEvery: -1}, testSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.HotBudgetBytes() != 0 {
+		t.Fatalf("all-cold budget %d", s2.HotBudgetBytes())
+	}
+}
+
+// TestOpenValidation covers the spec/config error paths.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{SweepEvery: -1}, nil); err == nil {
+		t.Error("no streams accepted")
+	}
+	if _, err := Open(Config{SweepEvery: -1}, []StreamSpec{{ID: 1, Data: []float32{1}, Dim: 1}}); err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+	if _, err := Open(Config{SweepEvery: -1}, []StreamSpec{{ID: 0, Data: []float32{1, 2, 3}, Dim: 2}}); err == nil {
+		t.Error("ragged payload accepted")
+	}
+	if _, err := Open(Config{ColdLatencyNS: -1, SweepEvery: -1}, testSpecs(t)); err == nil {
+		t.Error("negative cold latency accepted")
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"microrec/internal/model"
 	"microrec/internal/placement"
 	"microrec/internal/serving"
+	"microrec/internal/tieredstore"
 	"microrec/internal/workload"
 )
 
@@ -126,6 +127,10 @@ type (
 	// HotCacheInfo is a snapshot of an engine's live hot-row cache
 	// (Engine.HotCache).
 	HotCacheInfo = core.HotCacheInfo
+	// TierStats is the /stats view of the tiered embedding backing store
+	// (EngineOptions.ColdTier): per-tier residency, read split,
+	// promotion/demotion counters and the current cold-latency bound.
+	TierStats = serving.TierStats
 	// AdmissionStats is the /stats view of the admission gate: queue
 	// pressure, shed/drop counters and the knee (capacity) estimate.
 	AdmissionStats = serving.AdmissionStats
@@ -217,6 +222,23 @@ type EngineOptions struct {
 	// changes predictions; its hit rate scales the modeled embedding-lookup
 	// latency (Engine.EffectiveLookupNS, surfaced in /stats).
 	HotCacheBytes int64
+	// ColdTier attaches the tiered embedding backing store: frequent rows
+	// pinned in a DRAM hot tier, the full row set in an mmap'd cold file
+	// with a modeled per-access latency, placement driven by a background
+	// frequency sweep harvesting the live hot-row cache. Bit-identical to
+	// all-DRAM by construction — only the timing model changes. Engines
+	// built with a cold tier must be Closed (Engine.Close removes the file).
+	ColdTier bool
+	// ColdTierPath is the cold-tier file path; empty means an unnamed temp
+	// file. Ignored unless ColdTier is set.
+	ColdTierPath string
+	// ColdLatencyNS overrides the modeled per-access cold-tier latency in
+	// nanoseconds; 0 means the default (20µs, NVMe read scale).
+	ColdLatencyNS float64
+	// HotTierBytes is the DRAM hot-tier byte budget; 0 means a quarter of
+	// the model's embedding bytes (the "model 4x larger than DRAM" demo
+	// shape), negative means all-cold. Ignored unless ColdTier is set.
+	HotTierBytes int64
 }
 
 // NewEngine materialises parameters, runs the placement search and builds a
@@ -257,6 +279,13 @@ func prepareWithParams(params *Parameters, opts EngineOptions) (*Parameters, *Pl
 	}
 	cfg := core.ConfigFor(params.Spec.Name, prec)
 	cfg.HotCacheBytes = opts.HotCacheBytes
+	if opts.ColdTier {
+		cfg.ColdTier = &tieredstore.Config{
+			Path:          opts.ColdTierPath,
+			ColdLatencyNS: opts.ColdLatencyNS,
+			HotBytes:      opts.HotTierBytes,
+		}
+	}
 	alloc := placement.RoundRobin
 	if opts.UseLPTAllocator {
 		alloc = placement.LPT
