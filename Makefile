@@ -3,7 +3,7 @@ GO ?= go
 # the committed BENCH_*.json baselines.
 BENCH_SCRATCH ?= /tmp/microrec-bench
 
-.PHONY: build vet fmt-check test race bench bench-json loadtest-json bench-smoke benchdiff ci
+.PHONY: build vet fmt-check test test-noasm race bench bench-json loadtest-json bench-smoke benchdiff ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ fmt-check:
 test: build
 	$(GO) test ./...
 
+# test-noasm forces the portable kernel path (the noasm build tag disables
+# every optimized kernel, Features() reports "portable") and reruns the whole
+# suite — including the kernel bit-identity property tests, which then prove
+# the reference path against itself, and every datapath golden test, which
+# must not notice the kernel swap.
+test-noasm:
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -25,8 +34,11 @@ bench:
 
 # bench-json measures serving ns/query at batch 1/16/64 (pipelined drain)
 # and writes BENCH_serve.json, so the perf trajectory is tracked across PRs.
+# GOMAXPROCS is pinned to 1 so the committed baseline measures the datapath,
+# not the host's core count — benchdiff refuses candidates whose gomaxprocs
+# differs from the baseline's.
 bench-json:
-	$(GO) run ./cmd/microrec bench -o BENCH_serve.json
+	GOMAXPROCS=1 $(GO) run ./cmd/microrec bench -o BENCH_serve.json
 
 # loadtest-json sweeps open-loop offered load through 2.5x saturation and
 # writes BENCH_loadtest.json: the knee (max qps meeting the SLA), per-level
@@ -43,18 +55,22 @@ else
 endif
 
 # bench-smoke runs the datapath/serving benchmarks once each — a fast check
-# that the hot paths still execute, used by CI.
+# that the hot paths still execute, used by CI. The kernel microbenchmarks
+# ride along so the SIMD paths are exercised under the bench harness too.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Gather|Serve|EngineInferOne|Pipeline' -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench 'GEMMKernel|QuantizeRow' -benchtime 1x -benchmem ./internal/kernels
 
 # benchdiff is the bench-regression gate: regenerate a smoke-scale serve
 # bench into the scratch dir and fail if ns/query regressed >25% against the
-# committed baseline at any batch size (exactly the CI step).
+# committed baseline at any batch size (exactly the CI step). The candidate
+# runs under GOMAXPROCS=1 to match the committed baseline's environment;
+# benchdiff fails on a gomaxprocs mismatch rather than comparing across it.
 benchdiff:
 	mkdir -p $(BENCH_SCRATCH)
-	$(GO) run ./cmd/microrec bench -n 512 -o $(BENCH_SCRATCH)/BENCH_serve.json
+	GOMAXPROCS=1 $(GO) run ./cmd/microrec bench -n 512 -o $(BENCH_SCRATCH)/BENCH_serve.json
 	$(GO) run ./cmd/microrec benchdiff -baseline BENCH_serve.json -candidate $(BENCH_SCRATCH)/BENCH_serve.json
 
 # ci mirrors the CI job sequence locally (lint job + test job, one leg), so a
 # red CI reproduces in one command.
-ci: build vet fmt-check test race bench-smoke benchdiff
+ci: build vet fmt-check test test-noasm race bench-smoke benchdiff

@@ -34,10 +34,14 @@ type benchReport struct {
 	Model     string `json:"model"`
 	Mode      string `json:"mode"`
 	// Shards is the scatter/gather tier's shard count (1 = single engine).
-	Shards     int    `json:"shards"`
-	Queries    int    `json:"queries_per_batch_size"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	Timestamp  string `json:"timestamp"`
+	Shards     int `json:"shards"`
+	Queries    int `json:"queries_per_batch_size"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Kernels records which optimized datapath kernels the producing build
+	// selected (microrec.KernelFeatures; "portable" under the noasm tag).
+	// Empty in documents predating the kernel layer.
+	Kernels   string `json:"kernels,omitempty"`
+	Timestamp string `json:"timestamp"`
 	// Tier records the tiered-store configuration and end-of-run counters
 	// when the run used -cold-tier (absent on all-DRAM runs, keeping the
 	// committed baseline schema unchanged).
@@ -186,6 +190,7 @@ func cmdBench(args []string) error {
 		Shards:     *shards,
 		Queries:    *n,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Kernels:    microrec.KernelFeatures(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	opts := microrec.ServerOptions{

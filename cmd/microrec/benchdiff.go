@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // benchdiff is the CI bench-regression gate: it compares a freshly generated
@@ -12,6 +13,34 @@ import (
 // in both documents. The tolerance defaults to 25% — wide enough for shared
 // CI runners' noise, tight enough to catch a real datapath regression —
 // and improvements of any size pass.
+//
+// Two documents are only comparable when they measured the same thing: a
+// model, mode, shard-count or gomaxprocs mismatch makes the ratio meaningless
+// (an 8-core candidate "beats" a 1-core baseline with the datapath slower),
+// so benchdiff refuses such pairs unless -allow-env-mismatch explicitly
+// accepts the skew. This used to be a printed note, which let an environment
+// change masquerade as a perf result.
+
+// envMismatch describes the comparability check between two reports: one
+// line per differing environment field, empty when the pair is comparable.
+// The kernels field is deliberately not gated: a kernel-selection change IS
+// the datapath under test, exactly what the gate must judge.
+func envMismatch(baseline, candidate benchReport) []string {
+	var m []string
+	if baseline.Model != candidate.Model {
+		m = append(m, fmt.Sprintf("model %q vs baseline %q", candidate.Model, baseline.Model))
+	}
+	if baseline.Mode != candidate.Mode {
+		m = append(m, fmt.Sprintf("mode %q vs baseline %q", candidate.Mode, baseline.Mode))
+	}
+	if baseline.Shards != candidate.Shards {
+		m = append(m, fmt.Sprintf("shards %d vs baseline %d", candidate.Shards, baseline.Shards))
+	}
+	if baseline.GoMaxProcs != candidate.GoMaxProcs {
+		m = append(m, fmt.Sprintf("gomaxprocs %d vs baseline %d", candidate.GoMaxProcs, baseline.GoMaxProcs))
+	}
+	return m
+}
 
 // loadBenchReport reads and decodes one bench JSON document.
 func loadBenchReport(path string) (benchReport, error) {
@@ -86,6 +115,7 @@ func cmdBenchdiff(args []string) error {
 	baseline := fs.String("baseline", "BENCH_serve.json", "committed baseline bench JSON")
 	candidate := fs.String("candidate", "", "freshly generated bench JSON to judge (required)")
 	tol := fs.Float64("tol", 0.25, "allowed ns_per_query regression fraction before failing (0.25 = +25%)")
+	allowEnv := fs.Bool("allow-env-mismatch", false, "compare despite model/mode/shards/gomaxprocs differences between baseline and candidate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,9 +133,14 @@ func cmdBenchdiff(args []string) error {
 	if err != nil {
 		return err
 	}
-	if baseRep.Mode != candRep.Mode || baseRep.Model != candRep.Model || baseRep.Shards != candRep.Shards {
-		fmt.Printf("note: comparing %s/%s/%d-shard candidate against %s/%s/%d-shard baseline\n",
-			candRep.Model, candRep.Mode, candRep.Shards, baseRep.Model, baseRep.Mode, baseRep.Shards)
+	if mism := envMismatch(baseRep, candRep); len(mism) > 0 {
+		if !*allowEnv {
+			return fmt.Errorf("benchdiff: baseline and candidate measured different environments (%s) — the ns/query ratio is not a datapath comparison; rerun in the baseline's environment or pass -allow-env-mismatch", strings.Join(mism, "; "))
+		}
+		fmt.Printf("note: env mismatch accepted (-allow-env-mismatch): %s\n", strings.Join(mism, "; "))
+	}
+	if baseRep.Kernels != candRep.Kernels {
+		fmt.Printf("note: kernels %q vs baseline %q\n", candRep.Kernels, baseRep.Kernels)
 	}
 	lines, err := diffBench(baseRep, candRep, *tol)
 	for _, l := range lines {

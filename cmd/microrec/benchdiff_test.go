@@ -67,12 +67,59 @@ func TestBenchdiffGate(t *testing.T) {
 	}
 
 	// No shared batch sizes: an error, not a vacuous pass.
-	disjoint := writeBenchJSON(t, dir, "disjoint.json", benchReport{
-		Benchmark: "serve",
-		Results:   []benchResult{{Batch: 8, NSPerQuery: 100}},
-	})
+	disjointRep := serveReport(nil)
+	disjointRep.Results = []benchResult{{Batch: 8, NSPerQuery: 100}}
+	disjoint := writeBenchJSON(t, dir, "disjoint.json", disjointRep)
 	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", disjoint}); err == nil {
 		t.Fatal("disjoint batch sets passed")
+	}
+}
+
+// TestBenchdiffEnvGate pins the comparability guard: a candidate measured in
+// a different environment (model, mode, shards, or gomaxprocs) must be
+// refused — an environment change is not a datapath result — unless
+// -allow-env-mismatch explicitly accepts the skew. A kernels difference, by
+// contrast, is the very thing the gate judges and must still compare.
+func TestBenchdiffEnvGate(t *testing.T) {
+	dir := t.TempDir()
+	baseRep := serveReport(map[int]float64{1: 1000, 16: 500, 64: 300})
+	baseRep.GoMaxProcs = 1
+	base := writeBenchJSON(t, dir, "base.json", baseRep)
+
+	mutations := []struct {
+		name   string
+		mutate func(*benchReport)
+	}{
+		{"model", func(r *benchReport) { r.Model = "production-large" }},
+		{"mode", func(r *benchReport) { r.Mode = "worker-pool" }},
+		{"shards", func(r *benchReport) { r.Shards = 4 }},
+		{"gomaxprocs", func(r *benchReport) { r.GoMaxProcs = 8 }},
+	}
+	for _, m := range mutations {
+		rep := serveReport(map[int]float64{1: 1000, 16: 500, 64: 300})
+		rep.GoMaxProcs = 1
+		m.mutate(&rep)
+		cand := writeBenchJSON(t, dir, m.name+".json", rep)
+		err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand})
+		if err == nil {
+			t.Fatalf("%s mismatch passed the gate", m.name)
+		}
+		if !strings.Contains(err.Error(), m.name) {
+			t.Fatalf("%s mismatch error does not name the field: %v", m.name, err)
+		}
+		// The escape hatch compares anyway (and this pair has no regression).
+		if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand, "-allow-env-mismatch"}); err != nil {
+			t.Fatalf("-allow-env-mismatch still refused %s mismatch: %v", m.name, err)
+		}
+	}
+
+	// Kernel-selection differences are the change under test, not env skew.
+	rep := serveReport(map[int]float64{1: 1000, 16: 500, 64: 300})
+	rep.GoMaxProcs = 1
+	rep.Kernels = "avx2-gemm+batched-quantize"
+	cand := writeBenchJSON(t, dir, "kernels.json", rep)
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("kernels difference refused: %v", err)
 	}
 }
 

@@ -30,7 +30,10 @@ type loadtestReport struct {
 	RequestsPerLoad int     `json:"requests_per_load"`
 	Tolerance       float64 `json:"tolerance"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
-	Timestamp       string  `json:"timestamp"`
+	// Kernels records which optimized datapath kernels the producing build
+	// selected (microrec.KernelFeatures; "portable" under the noasm tag).
+	Kernels   string `json:"kernels,omitempty"`
+	Timestamp string `json:"timestamp"`
 	// CalibratedQPS is the saturation goodput the auto ladder was built
 	// around (0 when -loads was given explicitly).
 	CalibratedQPS float64 `json:"calibrated_qps,omitempty"`
@@ -166,6 +169,7 @@ func cmdLoadtest(args []string) error {
 		RequestsPerLoad: *n,
 		Tolerance:       *tol,
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Kernels:         microrec.KernelFeatures(),
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 	}
 

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"microrec"
 )
 
 func main() {
@@ -51,6 +53,12 @@ func run(args []string) error {
 		return cmdLoadtest(args[1:])
 	case "benchdiff":
 		return cmdBenchdiff(args[1:])
+	case "kernels":
+		// Which optimized datapath kernels this binary selected at init —
+		// the provenance string bench/loadtest documents record. "portable"
+		// means the pure-Go reference path (noasm build, or no CPU support).
+		fmt.Println(microrec.KernelFeatures())
+		return nil
 	case "list":
 		return cmdList()
 	case "help", "-h", "--help":
@@ -75,6 +83,7 @@ commands:
                    SLA), drive past it, emit BENCH_loadtest.json
   benchdiff        compare a fresh bench JSON against the committed baseline,
                    fail on ns/query regressions beyond the tolerance (CI gate)
+  kernels          print which optimized datapath kernels this build selected
   trace            export a chrome://tracing pipeline trace
   spec             print a model specification
   list             list available experiments

@@ -5,22 +5,20 @@ import (
 
 	"microrec/internal/embedding"
 	"microrec/internal/fixedpoint"
+	"microrec/internal/kernels"
 )
 
 // The batched datapath below is the CPU-side analogue of the paper's
 // throughput argument: per-query inference streams every FC weight matrix
 // from memory once per query, while a micro-batch reuses each weight block
 // across the whole batch. Features arrive already quantized from GatherBatch
-// (gather.go); the kernel is a register-blocked (4 queries x 2 outputs),
-// column-blocked fixed-point GEMM over the transposed (out x in) weight
-// layout, so every weight access is sequential and each L2-resident block is
-// reused by the whole batch. The wide accumulators match the per-query GEMV
-// exactly, so batched predictions are bit-identical to InferOne.
-
-// gemmColBlock is the number of output columns processed per weight pass;
-// a block of 16 contiguous transposed weight rows stays cache-resident while
-// every query in the batch reuses it.
-const gemmColBlock = 16
+// (gather.go); the GEMM itself lives in internal/kernels — a column-blocked
+// fixed-point kernel over the transposed (out x in) weight layout, so every
+// weight access is sequential and each L2-resident block is reused by the
+// whole batch, with an AVX2 path selected at init where the host supports
+// it. The wide accumulators match the per-query GEMV exactly (and the
+// optimized kernels are property-tested bit-identical to the portable
+// reference), so batched predictions are bit-identical to InferOne.
 
 // BatchScratch holds the reusable buffers of the batched datapath. A scratch
 // is owned by one goroutine at a time; distinct goroutines must use distinct
@@ -146,7 +144,7 @@ func (e *Engine) DenseFromPlane(b int, s *BatchScratch) {
 	x, y := s.x, s.y
 	for l := 0; l < len(e.dims)-1; l++ {
 		in, out := e.dims[l][0], e.dims[l][1]
-		gemmBatch(x, y, b, in, out, width, e.qweightsT[l])
+		kernels.Gemm(x, y, b, in, out, width, e.qweightsT[l])
 		bias := e.qbiases[l]
 		for qi := 0; qi < b; qi++ {
 			yrow := y[qi*width : qi*width+out]
@@ -172,7 +170,7 @@ func (e *Engine) TailFromPlane(b int, s *BatchScratch, dst []float32) {
 		x, y = y, x
 	}
 	in, out := e.dims[l][0], e.dims[l][1]
-	gemmBatch(x, y, b, in, out, width, e.qweightsT[l])
+	kernels.Gemm(x, y, b, in, out, width, e.qweightsT[l])
 	bias := e.qbiases[l]
 	for qi := 0; qi < b; qi++ {
 		yrow := y[qi*width : qi*width+out]
@@ -180,80 +178,5 @@ func (e *Engine) TailFromPlane(b int, s *BatchScratch, dst []float32) {
 			yrow[j] = f.Add(f.Finish(yrow[j]), bias[j])
 		}
 		dst[qi] = float32(f.Dequantize(f.Sigmoid(yrow[0])))
-	}
-}
-
-// gemmBatch computes Y = X * W for a batch of b activation rows. X and Y are
-// flat with a fixed row stride (so the same buffers serve every layer); WT is
-// the transposed weight matrix, out x in row-major, so output j's weights are
-// the contiguous row WT[j*in : (j+1)*in] and every access below is
-// sequential. Accumulation is exact wide int64 in ascending-i order,
-// identical to the per-query GEMV. The loop nest is column-blocked so each
-// cache-resident group of weight rows is reused by all b queries, and
-// register-blocked 4 queries x 2 outputs to amortize weight loads.
-func gemmBatch(X, Y []int64, b, in, out, stride int, WT []int64) {
-	for j0 := 0; j0 < out; j0 += gemmColBlock {
-		j1 := j0 + gemmColBlock
-		if j1 > out {
-			j1 = out
-		}
-		qi := 0
-		for ; qi+4 <= b; qi += 4 {
-			x0 := X[(qi+0)*stride : (qi+0)*stride+in]
-			x1 := X[(qi+1)*stride : (qi+1)*stride+in]
-			x2 := X[(qi+2)*stride : (qi+2)*stride+in]
-			x3 := X[(qi+3)*stride : (qi+3)*stride+in]
-			y0 := Y[(qi+0)*stride : (qi+0)*stride+out]
-			y1 := Y[(qi+1)*stride : (qi+1)*stride+out]
-			y2 := Y[(qi+2)*stride : (qi+2)*stride+out]
-			y3 := Y[(qi+3)*stride : (qi+3)*stride+out]
-			j := j0
-			for ; j+2 <= j1; j += 2 {
-				var a00, a01, a10, a11, a20, a21, a30, a31 int64
-				w0 := WT[j*in : j*in+in]
-				w1 := WT[(j+1)*in : (j+1)*in+in]
-				for i := 0; i < in; i++ {
-					wa := w0[i]
-					wb := w1[i]
-					v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
-					a00 += v0 * wa
-					a01 += v0 * wb
-					a10 += v1 * wa
-					a11 += v1 * wb
-					a20 += v2 * wa
-					a21 += v2 * wb
-					a30 += v3 * wa
-					a31 += v3 * wb
-				}
-				y0[j], y0[j+1] = a00, a01
-				y1[j], y1[j+1] = a10, a11
-				y2[j], y2[j+1] = a20, a21
-				y3[j], y3[j+1] = a30, a31
-			}
-			for ; j < j1; j++ {
-				var a0, a1, a2, a3 int64
-				w0 := WT[j*in : j*in+in]
-				for i := 0; i < in; i++ {
-					wa := w0[i]
-					a0 += x0[i] * wa
-					a1 += x1[i] * wa
-					a2 += x2[i] * wa
-					a3 += x3[i] * wa
-				}
-				y0[j], y1[j], y2[j], y3[j] = a0, a1, a2, a3
-			}
-		}
-		for ; qi < b; qi++ {
-			xr := X[qi*stride : qi*stride+in]
-			yr := Y[qi*stride : qi*stride+out]
-			for j := j0; j < j1; j++ {
-				var acc int64
-				w0 := WT[j*in : j*in+in]
-				for i := 0; i < in; i++ {
-					acc += xr[i] * w0[i]
-				}
-				yr[j] = acc
-			}
-		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"microrec/internal/embedding"
 	"microrec/internal/hotcache"
+	"microrec/internal/kernels"
 	"microrec/internal/memsim"
 	"microrec/internal/tieredstore"
 )
@@ -260,11 +261,13 @@ func (e *Engine) shardByChannelGroup() [][]int {
 		shards[best] = append(shards[best], g.tables...)
 		costs[best] += g.cost
 	}
-	// Drop empty shards (possible when there are fewer groups than n).
+	// Drop empty shards (possible when there are fewer groups than n), and
+	// put each survivor in memory-locality order: bank-grouped, index-sorted,
+	// so a shard goroutine streams one bank's address range at a time.
 	out := shards[:0]
 	for _, s := range shards {
 		if len(s) > 0 {
-			out = append(out, s)
+			out = append(out, e.plan.LocalityOrder(s))
 		}
 	}
 	return out
@@ -326,10 +329,16 @@ func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embeddi
 // gatherTables runs the table-major gather for one shard's physical tables:
 // for each table (and lookup round) it walks the whole batch, computes the
 // physical row, optionally records the access against the given live hot-row
-// cache, and quantizes the payload into each query's fixed-point feature
-// row. Distinct tables write disjoint feature columns, so shards never
-// overlap. cache is a parameter (not always e.cache) because the cluster
-// tier's partial gathers account against per-shard caches.
+// cache, and quantizes the payload into each query's fixed-point feature row
+// with the batched row-quantize kernel (one precomputed scale per row
+// segment instead of a per-element Quantize call). The walk is
+// prefetch-ahead: while query q's row is being quantized, query q+1's row —
+// already index-resolved one step early — is hinted toward the cache
+// non-temporally, so the random-access row fetch overlaps the copy instead
+// of stalling it (the paper's data-movement thesis applied to a CPU gather).
+// Distinct tables write disjoint feature columns, so shards never overlap.
+// cache is a parameter (not always e.cache) because the cluster tier's
+// partial gathers account against per-shard caches.
 func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
 	f := e.cfg.Precision
 	w := e.width
@@ -338,11 +347,12 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 		if gt.mat != nil {
 			dim := gt.dim
 			for r := 0; r < gt.lookups; r++ {
-				for qi, q := range queries {
-					var row int64
-					for si := range gt.srcs {
-						src := &gt.srcs[si]
-						row += (q[src.srcID][r] % src.actualRows) * src.stride
+				row := gt.matRow(queries[0], r)
+				for qi := range queries {
+					var next int64
+					if qi+1 < len(queries) {
+						next = gt.matRow(queries[qi+1], r)
+						gt.prefetchMatRow(next)
 					}
 					if cache != nil {
 						cache.Lookup(gt.cacheID, row, gt.vecBytes)
@@ -358,11 +368,10 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 					for si := range gt.srcs {
 						src := &gt.srcs[si]
 						off := src.featOff + r*src.dim
-						for k := 0; k < src.dim; k++ {
-							out[off+k] = f.Quantize(float64(payload[seg+k]))
-						}
+						kernels.QuantizeRow(f, payload[seg:seg+src.dim], out[off:off+src.dim])
 						seg += src.dim
 					}
+					row = next
 				}
 			}
 			continue
@@ -375,6 +384,10 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 				off := src.featOff + r*d
 				for qi, q := range queries {
 					mrow := q[src.srcID][r] % src.actualRows
+					if qi+1 < len(queries) {
+						next := queries[qi+1][src.srcID][r] % src.actualRows
+						src.prefetchRow(next, d64)
+					}
 					if cache != nil {
 						cache.Lookup(src.cacheID, mrow, src.vecBytes)
 					}
@@ -385,13 +398,42 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 						vec = src.data[mrow*d64 : mrow*d64+d64]
 					}
 					out := s.x[qi*w+off : qi*w+off+d]
-					for k := 0; k < d; k++ {
-						out[k] = f.Quantize(float64(vec[k]))
-					}
+					kernels.QuantizeRow(f, vec, out)
 				}
 			}
 		}
 	}
+}
+
+// matRow resolves one query's materialised-product row index for lookup
+// round r: the mixed-radix combination of the per-source logical indices.
+func (gt *gatherTable) matRow(q embedding.Query, r int) int64 {
+	var row int64
+	for si := range gt.srcs {
+		src := &gt.srcs[si]
+		row += (q[src.srcID][r] % src.actualRows) * src.stride
+	}
+	return row
+}
+
+// prefetchMatRow hints the storage of one materialised row toward the cache
+// ahead of its gather: the DRAM copy directly, or the tiered store's backing
+// copy for a tiered engine (which skips rows already pinned hot).
+func (gt *gatherTable) prefetchMatRow(row int64) {
+	if gt.tier != nil {
+		gt.tier.PrefetchRow(row)
+		return
+	}
+	kernels.PrefetchNT(gt.mat[row*gt.dim : row*gt.dim+gt.dim])
+}
+
+// prefetchRow is prefetchMatRow for a virtual (single-source) stream.
+func (src *gatherSource) prefetchRow(row, dim int64) {
+	if src.tier != nil {
+		src.tier.PrefetchRow(row)
+		return
+	}
+	kernels.PrefetchNT(src.data[row*dim : row*dim+dim])
 }
 
 // ---- live hot-row cache ----
@@ -516,11 +558,7 @@ func (e *Engine) PrefetchBatch(queries []embedding.Query) {
 		if gt.mat != nil {
 			for r := 0; r < gt.lookups; r++ {
 				for _, q := range queries {
-					var row int64
-					for si := range gt.srcs {
-						src := &gt.srcs[si]
-						row += (q[src.srcID][r] % src.actualRows) * src.stride
-					}
+					row := gt.matRow(q, r)
 					if !gt.tier.IsHot(row) {
 						cold = append(cold, ref{gt.cacheID, row})
 					}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"microrec/internal/fixedpoint"
+)
+
+// BenchmarkGEMMKernel measures the active GEMM against the reference on the
+// production-small layer shapes, so kernel wins (and regressions) are
+// visible independently of the serving stack. MACs/ns is the figure to
+// watch; the paper's per-core throughput argument lives or dies here.
+func BenchmarkGEMMKernel(b *testing.B) {
+	shapes := []struct{ batch, in, out int }{
+		{64, 352, 1024}, // production-small layer 1
+		{64, 1024, 512}, // layer 2
+		{64, 512, 256},  // layer 3
+		{1, 1024, 512},  // latency-bound single query
+	}
+	impls := []struct {
+		name string
+		fn   GemmFunc
+	}{
+		{"ref", GemmRef},
+		{"active/" + Features(), Gemm},
+	}
+	for _, s := range shapes {
+		stride := s.in
+		if s.out > stride {
+			stride = s.out
+		}
+		rng := rand.New(rand.NewSource(1))
+		X := make([]int64, s.batch*stride)
+		Y := make([]int64, s.batch*stride)
+		WT := make([]int64, s.out*s.in)
+		for i := range X {
+			X[i] = int64(int32(rng.Uint32() >> 16)) // small raws, as calibrated
+		}
+		for i := range WT {
+			WT[i] = int64(int32(rng.Uint32() >> 16))
+		}
+		macs := float64(s.batch) * float64(s.in) * float64(s.out)
+		for _, impl := range impls {
+			b.Run(fmt.Sprintf("%s/b%d_%dx%d", impl.name, s.batch, s.in, s.out), func(b *testing.B) {
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					impl.fn(X, Y, s.batch, s.in, s.out, stride, WT)
+				}
+				b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MACs/ns")
+			})
+		}
+	}
+}
+
+// BenchmarkQuantizeRow measures the active row-quantize against the
+// reference at the gather path's working sizes (one embedding vector, one
+// materialised product row).
+func BenchmarkQuantizeRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{8, 32, 352} {
+		src := make([]float32, n)
+		dst := make([]int64, n)
+		for i := range src {
+			src[i] = rng.Float32()*16 - 8
+		}
+		impls := []struct {
+			name string
+			fn   QuantizeRowFunc
+		}{
+			{"ref", QuantizeRowRef},
+			{"active/" + Features(), QuantizeRow},
+		}
+		for _, impl := range impls {
+			b.Run(fmt.Sprintf("%s/n%d", impl.name, n), func(b *testing.B) {
+				b.SetBytes(int64(n * 4))
+				for i := 0; i < b.N; i++ {
+					impl.fn(fixedpoint.Fixed16, src, dst)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,97 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+func init() {
+	if hasAVX2() {
+		Gemm = gemmAVX2
+		featureTags = append(featureTags, "avx2-gemm")
+	}
+	// The prefetch stub is plain SSE (PREFETCHNTA), available on every
+	// amd64; see prefetch_amd64.go.
+	prefetchLine = prefetchNT
+	featureTags = append(featureTags, "prefetch-nt")
+}
+
+// cpuid executes CPUID with the given leaf and subleaf; implemented in
+// kernels_amd64.s.
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE); implemented in kernels_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether the CPU supports AVX2 and the OS preserves the
+// YMM state across context switches (OSXSAVE set and XCR0 enabling both
+// SSE and AVX state), the standard dance before touching 256-bit registers.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit, avxBit = 1 << 27, 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// gemmDot4x8 is the AVX2 inner kernel (kernels_amd64.s): four dot products
+// of one activation row x against the four consecutive transposed weight
+// rows starting at w (each stride elements long), over the first n elements
+// (n > 0, n % 8 == 0), written to y[0..3]. Eight ymm accumulators — two per
+// weight row, four int64 lanes each — with VPMULDQ providing the exact
+// signed 32x32->64 products; lane sums are reduced at the end, which is
+// exact reassociation of the reference's ascending-i sum.
+//
+//go:noescape
+func gemmDot4x8(x, w *int64, stride, n int, y *int64)
+
+// gemmAVX2 is the optimized batch GEMM: the same column-blocked walk as
+// GemmRef (so weight-block cache residency is preserved), with the inner
+// product handed to the 4-row x 8-wide assembly kernel. Unroll tails — the
+// in%8 element remainder and the out%4 row remainder — run the reference
+// scalar loops; int64 addition commutes exactly, so the split cannot change
+// a single bit of the result.
+func gemmAVX2(X, Y []int64, b, in, out, stride int, WT []int64) {
+	n8 := in &^ 7
+	for j0 := 0; j0 < out; j0 += gemmColBlock {
+		j1 := j0 + gemmColBlock
+		if j1 > out {
+			j1 = out
+		}
+		for qi := 0; qi < b; qi++ {
+			x := X[qi*stride : qi*stride+in]
+			y := Y[qi*stride : qi*stride+out]
+			j := j0
+			for ; j+4 <= j1; j += 4 {
+				if n8 > 0 {
+					gemmDot4x8(&x[0], &WT[j*in], in, n8, &y[j])
+				} else {
+					y[j], y[j+1], y[j+2], y[j+3] = 0, 0, 0, 0
+				}
+				for i := n8; i < in; i++ {
+					v := x[i]
+					y[j+0] += v * WT[(j+0)*in+i]
+					y[j+1] += v * WT[(j+1)*in+i]
+					y[j+2] += v * WT[(j+2)*in+i]
+					y[j+3] += v * WT[(j+3)*in+i]
+				}
+			}
+			for ; j < j1; j++ {
+				var acc int64
+				w := WT[j*in : j*in+in]
+				for i := 0; i < in; i++ {
+					acc += x[i] * w[i]
+				}
+				y[j] = acc
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package kernels holds the innermost loops of the serving datapath — the
+// fixed-point batch GEMM, the embedding row-quantize, and software prefetch —
+// in two implementations selected once at init: a portable pure-Go reference
+// (the loops the engine has always run, kept verbatim) and a build-tagged
+// optimized path (AVX2 assembly on amd64, plus a batched pure-Go quantize).
+//
+// The paper's thesis is that recommendation inference is bounded by data
+// movement, not FLOPs, so the inner loops must be shaped for the hardware:
+// wide lanes for the GEMM inner product, one precomputed scale per embedding
+// row instead of a per-element quantize call, and prefetch of the next row
+// while the current one is being copied. Everything above this package — the
+// scalar engine, the staged pipeline, the cluster shards, the tiered store —
+// calls through the dispatch variables below and inherits whichever path the
+// host supports, with zero API change.
+//
+// Bit-identity is the contract, not an aspiration: every optimized kernel
+// must produce the exact int64 planes of the portable reference (property
+// tests run both side by side). For the GEMM this holds because int64
+// addition is associative and commutative even under wraparound, so lane
+// reassociation cannot change the sum, and because datapath operands are
+// format-saturated raws (|v| <= 2^31, Format.Bits <= 32) whose products are
+// exact in 64 bits. For the quantize it holds because scaling by a power of
+// two is exact in float64 and the bias trick below reproduces
+// round-half-to-even exactly inside the format's representable range.
+//
+// Building with the `noasm` tag forces the reference path everywhere (a CI
+// leg keeps that fallback working); Features reports which path is live so
+// recorded baselines are attributable to the ISA that produced them.
+package kernels
+
+import (
+	"strings"
+
+	"microrec/internal/fixedpoint"
+)
+
+// GemmFunc computes Y = X * W for a batch of b activation rows. X and Y are
+// flat with a fixed row stride (so the same buffers serve every layer); WT is
+// the transposed weight matrix, out x in row-major, so output j's weights are
+// the contiguous row WT[j*in : (j+1)*in]. Accumulation is exact wide int64.
+//
+// Contract: X and WT hold format-saturated raws of a validated
+// fixedpoint.Format (Bits <= 32), so every operand fits in a signed 32-bit
+// lane and every product is exact in int64. The engine guarantees this by
+// construction — activations come out of Quantize/Finish saturation and
+// weights out of calibration-time quantization.
+type GemmFunc func(X, Y []int64, b, in, out, stride int, WT []int64)
+
+// QuantizeRowFunc converts one contiguous float32 row to fixed-point raws,
+// dst[i] = f.Quantize(float64(src[i])), len(dst) == len(src).
+type QuantizeRowFunc func(f fixedpoint.Format, src []float32, dst []int64)
+
+// Dispatch variables, assigned once by the build-tagged init functions below
+// (and never after), so the steady-state hot loops pay one indirect call and
+// no branches. Under the noasm tag no init runs and the references stay.
+var (
+	// Gemm is the active batch-GEMM kernel.
+	Gemm GemmFunc = GemmRef
+	// QuantizeRow is the active row-quantize kernel.
+	QuantizeRow QuantizeRowFunc = QuantizeRowRef
+)
+
+// featureTags collects the optimized paths the init functions enabled, in
+// registration order; empty means the pure reference path.
+var featureTags []string
+
+// Features reports which kernel paths are live, e.g.
+// "avx2-gemm+batched-quantize+prefetch-nt", or "portable" when every
+// dispatch variable still points at the reference (the noasm build, or a
+// host without the required ISA). bench/loadtest record this string in their
+// JSON output so committed baselines name the path that produced them.
+func Features() string {
+	if len(featureTags) == 0 {
+		return "portable"
+	}
+	return strings.Join(featureTags, "+")
+}
+
+// gemmColBlock is the number of output columns processed per weight pass; a
+// block of 16 contiguous transposed weight rows stays cache-resident while
+// every query in the batch reuses it. Shared by the reference and the
+// optimized wrapper so both walk memory in the same order.
+const gemmColBlock = 16
+
+// GemmRef is the portable reference GEMM: the register-blocked (4 queries x
+// 2 outputs), column-blocked fixed-point loop the engine has always run,
+// moved here verbatim. Accumulation is exact wide int64 in ascending-i
+// order, identical to the per-query GEMV. The loop nest is column-blocked so
+// each cache-resident group of weight rows is reused by all b queries, and
+// register-blocked to amortize weight loads.
+func GemmRef(X, Y []int64, b, in, out, stride int, WT []int64) {
+	for j0 := 0; j0 < out; j0 += gemmColBlock {
+		j1 := j0 + gemmColBlock
+		if j1 > out {
+			j1 = out
+		}
+		qi := 0
+		for ; qi+4 <= b; qi += 4 {
+			x0 := X[(qi+0)*stride : (qi+0)*stride+in]
+			x1 := X[(qi+1)*stride : (qi+1)*stride+in]
+			x2 := X[(qi+2)*stride : (qi+2)*stride+in]
+			x3 := X[(qi+3)*stride : (qi+3)*stride+in]
+			y0 := Y[(qi+0)*stride : (qi+0)*stride+out]
+			y1 := Y[(qi+1)*stride : (qi+1)*stride+out]
+			y2 := Y[(qi+2)*stride : (qi+2)*stride+out]
+			y3 := Y[(qi+3)*stride : (qi+3)*stride+out]
+			j := j0
+			for ; j+2 <= j1; j += 2 {
+				var a00, a01, a10, a11, a20, a21, a30, a31 int64
+				w0 := WT[j*in : j*in+in]
+				w1 := WT[(j+1)*in : (j+1)*in+in]
+				for i := 0; i < in; i++ {
+					wa := w0[i]
+					wb := w1[i]
+					v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+					a00 += v0 * wa
+					a01 += v0 * wb
+					a10 += v1 * wa
+					a11 += v1 * wb
+					a20 += v2 * wa
+					a21 += v2 * wb
+					a30 += v3 * wa
+					a31 += v3 * wb
+				}
+				y0[j], y0[j+1] = a00, a01
+				y1[j], y1[j+1] = a10, a11
+				y2[j], y2[j+1] = a20, a21
+				y3[j], y3[j+1] = a30, a31
+			}
+			for ; j < j1; j++ {
+				var a0, a1, a2, a3 int64
+				w0 := WT[j*in : j*in+in]
+				for i := 0; i < in; i++ {
+					wa := w0[i]
+					a0 += x0[i] * wa
+					a1 += x1[i] * wa
+					a2 += x2[i] * wa
+					a3 += x3[i] * wa
+				}
+				y0[j], y1[j], y2[j], y3[j] = a0, a1, a2, a3
+			}
+		}
+		for ; qi < b; qi++ {
+			xr := X[qi*stride : qi*stride+in]
+			yr := Y[qi*stride : qi*stride+out]
+			for j := j0; j < j1; j++ {
+				var acc int64
+				w0 := WT[j*in : j*in+in]
+				for i := 0; i < in; i++ {
+					acc += xr[i] * w0[i]
+				}
+				yr[j] = acc
+			}
+		}
+	}
+}
+
+// QuantizeRowRef is the portable reference row-quantize: one Format.Quantize
+// call per element, exactly the loop the gather path has always run.
+func QuantizeRowRef(f fixedpoint.Format, src []float32, dst []int64) {
+	for i, x := range src {
+		dst[i] = f.Quantize(float64(x))
+	}
+}

@@ -1,0 +1,134 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func gemmDot4x8(x, w *int64, stride, n int, y *int64)
+//
+// Four fixed-point dot products: y[r] = sum_i x[i] * w[r*stride + i] for
+// r in 0..3, i in 0..n (n > 0, n % 8 == 0, caller-enforced).
+//
+// Operands are format-saturated raws (|v| < 2^31), so the signed low-32x32
+// multiply VPMULDQ yields the exact int64 product of the int64 lanes. Eight
+// ymm accumulators — rows 0..3 times even/odd lane groups — give an 8-wide
+// unroll with two independent add chains per row; int64 lane sums commute
+// exactly, so the final reduction is bit-identical to the scalar
+// ascending-i accumulation.
+TEXT ·gemmDot4x8(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ w+8(FP), R9
+	MOVQ stride+16(FP), DX
+	SHLQ $3, DX              // stride in bytes
+	MOVQ n+24(FP), CX
+	SHRQ $3, CX              // 8-element iterations
+	MOVQ y+32(FP), R8
+
+	LEAQ (R9)(DX*1), R10     // weight row 1
+	LEAQ (R10)(DX*1), R11    // weight row 2
+	LEAQ (R11)(DX*1), R12    // weight row 3
+
+	VPXOR X0, X0, X0         // row 0 even lanes (VPXOR on xmm zeroes the ymm)
+	VPXOR X1, X1, X1         // row 0 odd lanes
+	VPXOR X2, X2, X2         // row 1 even
+	VPXOR X3, X3, X3         // row 1 odd
+	VPXOR X4, X4, X4         // row 2 even
+	VPXOR X5, X5, X5         // row 2 odd
+	VPXOR X6, X6, X6         // row 3 even
+	VPXOR X7, X7, X7         // row 3 odd
+
+loop:
+	VMOVDQU (SI), Y8         // x[i..i+3]
+	VMOVDQU 32(SI), Y9       // x[i+4..i+7]
+
+	VMOVDQU (R9), Y10
+	VMOVDQU 32(R9), Y11
+	VPMULDQ Y8, Y10, Y10
+	VPMULDQ Y9, Y11, Y11
+	VPADDQ  Y10, Y0, Y0
+	VPADDQ  Y11, Y1, Y1
+
+	VMOVDQU (R10), Y12
+	VMOVDQU 32(R10), Y13
+	VPMULDQ Y8, Y12, Y12
+	VPMULDQ Y9, Y13, Y13
+	VPADDQ  Y12, Y2, Y2
+	VPADDQ  Y13, Y3, Y3
+
+	VMOVDQU (R11), Y10
+	VMOVDQU 32(R11), Y11
+	VPMULDQ Y8, Y10, Y10
+	VPMULDQ Y9, Y11, Y11
+	VPADDQ  Y10, Y4, Y4
+	VPADDQ  Y11, Y5, Y5
+
+	VMOVDQU (R12), Y12
+	VMOVDQU 32(R12), Y13
+	VPMULDQ Y8, Y12, Y12
+	VPMULDQ Y9, Y13, Y13
+	VPADDQ  Y12, Y6, Y6
+	VPADDQ  Y13, Y7, Y7
+
+	ADDQ $64, SI
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, R12
+	DECQ CX
+	JNZ  loop
+
+	// Merge even/odd chains, then horizontal-sum each row's four lanes.
+	VPADDQ Y1, Y0, Y0
+	VPADDQ Y3, Y2, Y2
+	VPADDQ Y5, Y4, Y4
+	VPADDQ Y7, Y6, Y6
+
+	VEXTRACTI128 $1, Y0, X8
+	VPADDQ       X8, X0, X0
+	VPSRLDQ      $8, X0, X8
+	VPADDQ       X8, X0, X0
+	VMOVQ        X0, (R8)
+
+	VEXTRACTI128 $1, Y2, X8
+	VPADDQ       X8, X2, X2
+	VPSRLDQ      $8, X2, X8
+	VPADDQ       X8, X2, X2
+	VMOVQ        X2, 8(R8)
+
+	VEXTRACTI128 $1, Y4, X8
+	VPADDQ       X8, X4, X4
+	VPSRLDQ      $8, X4, X8
+	VPADDQ       X8, X4, X4
+	VMOVQ        X4, 16(R8)
+
+	VEXTRACTI128 $1, Y6, X8
+	VPADDQ       X8, X6, X6
+	VPSRLDQ      $8, X6, X8
+	VPADDQ       X8, X6, X6
+	VMOVQ        X6, 24(R8)
+
+	VZEROUPPER
+	RET
+
+// func prefetchNT(p unsafe.Pointer)
+TEXT ·prefetchNT(SB), NOSPLIT, $0-8
+	MOVQ       p+0(FP), AX
+	PREFETCHNTA (AX)
+	RET
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  op+0(FP), AX
+	MOVL  sub+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL  CX, CX
+	XGETBV
+	MOVL  AX, eax+0(FP)
+	MOVL  DX, edx+4(FP)
+	RET

@@ -1,0 +1,200 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"microrec/internal/fixedpoint"
+)
+
+// Under the noasm tag the dispatch variables still point at the references
+// and these identity tests reduce to ref-vs-ref — that is intentional: the
+// noasm CI leg proves the portable path itself keeps passing, while the
+// default leg proves the optimized path matches it bit for bit.
+
+// randRaw returns a random format-saturated raw value: the full signed
+// 32-bit domain the GEMM contract admits, not just the values a calibrated
+// model would produce, so lane-width mistakes in the optimized kernel
+// (e.g. a 32x32 multiply that loses sign or high bits) cannot hide.
+func randRaw(rng *rand.Rand) int64 {
+	return int64(int32(rng.Uint32()))
+}
+
+// gemmCase runs one shape through GemmRef and the dispatched Gemm and
+// demands identical Y planes.
+func gemmCase(t *testing.T, rng *rand.Rand, b, in, out, stride int) {
+	t.Helper()
+	X := make([]int64, b*stride)
+	for i := range X {
+		X[i] = randRaw(rng)
+	}
+	WT := make([]int64, out*in)
+	for i := range WT {
+		WT[i] = randRaw(rng)
+	}
+	// Poison both Y planes differently so stale values cannot fake a match.
+	Yref := make([]int64, b*stride)
+	Yopt := make([]int64, b*stride)
+	for i := range Yref {
+		Yref[i] = 1<<62 + int64(i)
+		Yopt[i] = -(1<<61 + int64(i))
+	}
+	GemmRef(X, Yref, b, in, out, stride, WT)
+	Gemm(X, Yopt, b, in, out, stride, WT)
+	for qi := 0; qi < b; qi++ {
+		for j := 0; j < out; j++ {
+			if Yref[qi*stride+j] != Yopt[qi*stride+j] {
+				t.Fatalf("b=%d in=%d out=%d stride=%d: Y[%d][%d] = %d (opt) want %d (ref)",
+					b, in, out, stride, qi, j, Yopt[qi*stride+j], Yref[qi*stride+j])
+			}
+		}
+	}
+}
+
+// TestGemmBitIdentityRandomShapes sweeps random shapes whose b, in and out
+// remainders exercise every unroll tail: the 8-wide element tail (in % 8),
+// the 4-row tail (out % 4 and out % gemmColBlock), and the 4-query tail of
+// the reference blocking (b % 4).
+func TestGemmBitIdentityRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		b := 1 + rng.Intn(9)
+		in := 1 + rng.Intn(70)
+		out := 1 + rng.Intn(70)
+		stride := in
+		if out > stride {
+			stride = out
+		}
+		stride += rng.Intn(5) // slack between rows, as in real planes
+		gemmCase(t, rng, b, in, out, stride)
+	}
+}
+
+// TestGemmBitIdentityEdgeShapes pins the boundary shapes: every unroll
+// boundary on both sides, single rows/columns, and a plane-sized case.
+func TestGemmBitIdentityEdgeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := []struct{ b, in, out int }{
+		{1, 1, 1},
+		{1, 7, 1},   // below one 8-wide step
+		{1, 8, 1},   // exactly one step
+		{1, 9, 1},   // step plus tail
+		{3, 16, 3},  // out below the 4-row unroll
+		{4, 16, 4},  // exact 4-row block
+		{5, 17, 5},  // both tails
+		{2, 8, 16},  // exact column block
+		{2, 8, 17},  // column block plus one row
+		{6, 24, 33}, // multiple column blocks plus tail
+		{8, 352, 31},
+	}
+	for _, s := range shapes {
+		stride := s.in
+		if s.out > stride {
+			stride = s.out
+		}
+		gemmCase(t, rng, s.b, s.in, s.out, stride)
+	}
+}
+
+// TestGemmWraparoundIdentity drives accumulators into int64 overflow: raws
+// at the 32-bit extremes over a long row make partial sums wrap. Wrapping
+// addition still commutes, so the kernels must agree bit for bit even here.
+func TestGemmWraparoundIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const b, in, out = 2, 2048, 4
+	X := make([]int64, b*in)
+	WT := make([]int64, out*in)
+	extremes := []int64{math.MinInt32, math.MaxInt32}
+	for i := range X {
+		X[i] = extremes[rng.Intn(2)]
+	}
+	for i := range WT {
+		WT[i] = extremes[rng.Intn(2)]
+	}
+	Yref := make([]int64, b*in)
+	Yopt := make([]int64, b*in)
+	GemmRef(X, Yref, b, in, out, in, WT)
+	Gemm(X, Yopt, b, in, out, in, WT)
+	for i := 0; i < b*in; i++ {
+		if Yref[i] != Yopt[i] {
+			t.Fatalf("wraparound: Y[%d] = %d (opt) want %d (ref)", i, Yopt[i], Yref[i])
+		}
+	}
+}
+
+// quantFormats are the formats the identity tests sweep: the two datapath
+// formats plus odd widths FormatFor can produce.
+var quantFormats = []fixedpoint.Format{
+	fixedpoint.Fixed16,
+	fixedpoint.Fixed32,
+	{Bits: 16, Frac: 1},
+	{Bits: 16, Frac: 14},
+	{Bits: 32, Frac: 1},
+	{Bits: 32, Frac: 30},
+}
+
+// TestQuantizeRowBitIdentity compares the dispatched QuantizeRow against the
+// reference over adversarial values: exact halves (the round-to-even
+// cases), saturation boundaries, NaN, infinities, subnormals, and random
+// magnitudes across the whole float32 exponent range.
+func TestQuantizeRowBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, f := range quantFormats {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("bad test format %v: %v", f, err)
+		}
+		scale := f.Scale()
+		src := []float32{
+			0, float32(math.Copysign(0, -1)),
+			float32(0.5 / scale), float32(-0.5 / scale), // exact .5 raws
+			float32(1.5 / scale), float32(-1.5 / scale),
+			float32(f.MaxValue()), float32(f.MinValue()),
+			float32(f.MaxValue() * 2), float32(f.MinValue() * 2), // saturate
+			float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+			math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+			math.MaxFloat32, -math.MaxFloat32,
+		}
+		for i := 0; i < 1000; i++ {
+			mag := math.Ldexp(rng.Float64()*2-1, rng.Intn(80)-40)
+			src = append(src, float32(mag))
+		}
+		ref := make([]int64, len(src))
+		opt := make([]int64, len(src))
+		QuantizeRowRef(f, src, ref)
+		QuantizeRow(f, src, opt)
+		for i := range src {
+			if ref[i] != opt[i] {
+				t.Fatalf("format %v: src[%d]=%v -> %d (opt) want %d (ref)",
+					f, i, src[i], opt[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestQuantizeRowEmpty ensures the kernels accept zero-length rows.
+func TestQuantizeRowEmpty(t *testing.T) {
+	QuantizeRow(fixedpoint.Fixed16, nil, nil)
+	QuantizeRowRef(fixedpoint.Fixed16, nil, nil)
+}
+
+// TestPrefetchNT exercises the hint path (crash-freedom is the contract:
+// prefetch must tolerate any resident span and a nil row).
+func TestPrefetchNT(t *testing.T) {
+	PrefetchNT(nil)
+	row := make([]float32, 33) // spans 3 cache lines
+	PrefetchNT(row)
+}
+
+// TestFeaturesNonEmpty pins the Features contract: a non-empty string that
+// is "portable" exactly when no optimized path was installed.
+func TestFeaturesNonEmpty(t *testing.T) {
+	s := Features()
+	if s == "" {
+		t.Fatal("Features() empty")
+	}
+	if (len(featureTags) == 0) != (s == "portable") {
+		t.Fatalf("Features() = %q with tags %v", s, featureTags)
+	}
+	t.Logf("kernel features: %s", s)
+}

@@ -1,0 +1,11 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+import "unsafe"
+
+// prefetchNT issues PREFETCHNTA for the line containing p; implemented in
+// kernels_amd64.s. Installed as prefetchLine by the amd64 init.
+//
+//go:noescape
+func prefetchNT(p unsafe.Pointer)

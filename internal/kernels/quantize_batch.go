@@ -1,0 +1,59 @@
+//go:build !noasm
+
+package kernels
+
+import "microrec/internal/fixedpoint"
+
+func init() {
+	QuantizeRow = quantizeRowBatch
+	featureTags = append(featureTags, "batched-quantize")
+}
+
+// rtBias is 1.5 * 2^52: adding it to a float64 v with |v| < 2^51 lands the
+// sum in [2^52, 2^53), where the float64 ULP is exactly 1, so the add itself
+// rounds v to the nearest integer under the IEEE-754 default
+// round-half-to-even mode — the same rounding math.RoundToEven implements
+// with bit manipulation, for the cost of two additions. (2^52 alone would
+// only work for non-negative v: sums just below 2^52 have a 0.5 ULP.)
+const rtBias = 1<<52 + 1<<51
+
+// quantizeRowBatch converts a whole row with one precomputed scale and clamp
+// pair, replacing the per-element Format.Quantize call (which re-derives the
+// scale, runs a NaN test through math, and rounds by exponent surgery).
+//
+// Bit-identity with QuantizeRowRef:
+//   - float32→float64 conversion and scaling by 2^Frac are both exact, so v
+//     here is the exact value Quantize rounds;
+//   - for |v| < 2^51 the rtBias round-trip is exactly round-half-to-even;
+//   - for |v| >= 2^51 the round-trip may be off by a few ULP, but any such t
+//     still lies far beyond the clamp bounds (|raw| < 2^31 for every
+//     validated format), so both paths saturate to the same raw;
+//   - NaN and ±Inf are handled before/by the clamps exactly as in Quantize.
+//
+// The loop is branch-light and inlines the whole format state into
+// registers; on amd64 it compiles to a multiply, two adds and two compares
+// per element.
+func quantizeRowBatch(f fixedpoint.Format, src []float32, dst []int64) {
+	scale := f.Scale()
+	maxRaw := int64(1)<<uint(f.Bits-1) - 1
+	minRaw := -(int64(1) << uint(f.Bits-1))
+	maxF, minF := float64(maxRaw), float64(minRaw)
+	dst = dst[:len(src)]
+	for i, x := range src {
+		v := float64(x) * scale
+		if v != v { // NaN quantizes to zero
+			dst[i] = 0
+			continue
+		}
+		t := (v + rtBias) - rtBias
+		if t > maxF {
+			dst[i] = maxRaw
+			continue
+		}
+		if t < minF {
+			dst[i] = minRaw
+			continue
+		}
+		dst[i] = int64(t)
+	}
+}

@@ -130,6 +130,7 @@ type plane struct {
 	queries []embedding.Query // batch query headers, cap MaxBatch
 	preds   []float32         // predictions, cap MaxBatch
 	payload interface{}       // caller's batch handle, returned via Deliver
+	entered time.Time         // when Submit handed the plane to the pipeline
 	scratch core.BatchScratch
 }
 
@@ -173,15 +174,19 @@ type Executor struct {
 	wg      sync.WaitGroup
 
 	stages [numStages]stageMeter
-	// interval tracks the gaps between consecutive batch completions while
-	// the pipeline stayed occupied — the measured initiation interval. Gaps
-	// that include idle time (no other batch in flight at the previous
-	// completion) would measure the arrival rate, not the pipeline, and are
-	// excluded.
+	// interval tracks per-completion pipeline-busy gaps: each batch observes
+	// now - max(previous completion, its own Submit time). The entered floor
+	// excludes idle time waiting for arrivals (which would measure load, not
+	// the pipeline) while still charging queueing inside the pipeline, so
+	// consecutive gaps telescope to busy-span/completions — the measured
+	// initiation interval. An earlier scheme filtered on "batches remained in
+	// flight at the previous completion" instead; on few-core hosts the OS
+	// scheduler makes completions burst (the dense stage queues several
+	// planes before the tail goroutine runs), and that filter kept only the
+	// tiny intra-burst gaps, under-reporting the interval by ~4x at batch 1.
 	interval  *metrics.Rolling
 	completed atomic.Uint64
 	lastDone  time.Time // tail goroutine only
-	lastBusy  bool      // tail goroutine only: batches remained in flight at lastDone
 	start     time.Time
 }
 
@@ -254,6 +259,7 @@ func (x *Executor) Submit(queries []embedding.Query, payload interface{}) error 
 	p := <-x.free
 	p.queries = append(p.queries[:0], queries...)
 	p.payload = payload
+	p.entered = time.Now()
 	x.gatherQ <- p
 	return nil
 }
@@ -329,14 +335,14 @@ func (x *Executor) tailLoop() {
 		now := time.Now()
 		x.stages[stageTail].record(now, now.Sub(t0))
 		x.opts.Deliver(p.payload, p.preds[:b])
-		if !x.lastDone.IsZero() && x.lastBusy {
-			x.interval.Observe(now, float64(now.Sub(x.lastDone)))
+		// Busy gap: from the later of the previous completion and this
+		// batch's Submit (see the interval field for why the floor matters).
+		from := x.lastDone
+		if from.Before(p.entered) {
+			from = p.entered
 		}
+		x.interval.Observe(now, float64(now.Sub(from)))
 		x.lastDone = now
-		// p itself still occupies the ring until recycled below, so more
-		// than one in-flight plane means the pipeline stays busy into the
-		// next completion gap.
-		x.lastBusy = x.InFlight() > 1
 		x.completed.Add(1)
 		// Drop batch references before recycling so the ring never pins a
 		// delivered batch's memory.
@@ -379,11 +385,12 @@ type Snapshot struct {
 	Completed uint64 `json:"completed"`
 	// Stages holds per-stage service statistics in pipeline order.
 	Stages []StageSnapshot `json:"stages"`
-	// MeasuredIntervalUS is the rolling mean gap between consecutive batch
-	// completions over spans where the pipeline stayed occupied — the
-	// measured steady-state initiation interval. Idle inter-arrival gaps
-	// are excluded, so the figure reflects pipeline capability, not load
-	// (0 until back-to-back batches have flowed).
+	// MeasuredIntervalUS is the rolling mean per-completion pipeline-busy
+	// gap — each batch's completion minus the later of the previous
+	// completion and the batch's own submission — i.e. the measured
+	// steady-state initiation interval. Idle time waiting for arrivals is
+	// excluded, so the figure reflects pipeline capability, not load (0
+	// until a batch has completed).
 	MeasuredIntervalUS float64 `json:"measured_interval_us"`
 	// PredictedIntervalUS is pipesim's steady-state interval for a
 	// three-stage pipeline with the measured mean service times and this

@@ -30,6 +30,7 @@ import (
 	"unsafe"
 
 	"microrec/internal/hotcache"
+	"microrec/internal/kernels"
 )
 
 // Defaults applied by Config.withDefaults.
@@ -174,6 +175,26 @@ func (st *Stream) IsHot(row int64) bool {
 
 // Rows returns the stream's row count.
 func (st *Stream) Rows() int64 { return st.rows }
+
+// PrefetchRow issues a non-temporal cache hint for the copy of the row the
+// next Row call will return — the pinned DRAM vector when hot, the mmap'd
+// cold window otherwise — without touching the read counters. The gather
+// loop calls it one query ahead so the row fetch overlaps the previous
+// query's quantize instead of stalling it. Unlike Store.Prefetch (a
+// page-fault absorber that dereferences the page), this is hint-only:
+// out-of-range rows are ignored and no fault is forced.
+func (st *Stream) PrefetchRow(row int64) {
+	if row < 0 || row >= st.rows {
+		return
+	}
+	if m := st.hot.Load(); m != nil {
+		if v, ok := m.rows[row]; ok {
+			kernels.PrefetchNT(v)
+			return
+		}
+	}
+	kernels.PrefetchNT(st.cold[row*st.dim : (row+1)*st.dim])
+}
 
 // Store is the two-tier backing store for a set of access streams.
 type Store struct {
@@ -503,8 +524,17 @@ func (s *Store) Prefetch(id int, row int64) bool {
 	if st.IsHot(row) {
 		return false
 	}
-	v := st.cold[row*st.dim]
-	s.prefetchSink.Add(int64(math.Float32bits(v)))
+	// Touch one float per page the row spans, not just the first: a row
+	// crossing a page boundary would otherwise still fault synchronously in
+	// the gather for its tail pages.
+	const floatsPerPage = 4096 / 4
+	lo, hi := row*st.dim, (row+1)*st.dim
+	var acc int64
+	for i := lo; i < hi; i += floatsPerPage {
+		acc += int64(math.Float32bits(st.cold[i]))
+	}
+	acc += int64(math.Float32bits(st.cold[hi-1]))
+	s.prefetchSink.Add(acc)
 	s.prefetches.Add(1)
 	return true
 }

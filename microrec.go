@@ -53,6 +53,7 @@ import (
 	"microrec/internal/cpu"
 	"microrec/internal/embedding"
 	"microrec/internal/fixedpoint"
+	"microrec/internal/kernels"
 	"microrec/internal/loadgen"
 	"microrec/internal/memsim"
 	"microrec/internal/metrics"
@@ -201,6 +202,11 @@ func DLRMModel(numTables, dim int) (*Spec, error) { return model.DLRMRMC2(numTab
 // U280 returns the paper's FPGA memory system: 32 HBM pseudo-channels, 2 DDR4
 // channels and the given number of on-chip table banks.
 func U280(onChipBanks int) MemorySystem { return memsim.U280(onChipBanks) }
+
+// KernelFeatures reports which optimized datapath kernels this build selected
+// at init ("portable" when none): the provenance string bench and loadtest
+// reports record so two perf documents can be compared like for like.
+func KernelFeatures() string { return kernels.Features() }
 
 // EngineOptions configures NewEngine.
 type EngineOptions struct {
