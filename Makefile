@@ -3,7 +3,7 @@ GO ?= go
 # the committed BENCH_*.json baselines.
 BENCH_SCRATCH ?= /tmp/microrec-bench
 
-.PHONY: build vet fmt-check test test-noasm race bench bench-json loadtest-json bench-smoke benchdiff ci
+.PHONY: build vet fmt-check test test-noasm race bench bench-json loadtest-json bench-smoke benchdiff obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,8 +37,12 @@ bench:
 # GOMAXPROCS is pinned to 1 so the committed baseline measures the datapath,
 # not the host's core count — benchdiff refuses candidates whose gomaxprocs
 # differs from the baseline's.
+# Built as a binary (not `go run`) so the document's build_info carries the
+# git revision — `go run` skips VCS stamping and would record "unknown".
 bench-json:
-	GOMAXPROCS=1 $(GO) run ./cmd/microrec bench -o BENCH_serve.json
+	mkdir -p $(BENCH_SCRATCH)
+	$(GO) build -o $(BENCH_SCRATCH)/microrec ./cmd/microrec
+	GOMAXPROCS=1 $(BENCH_SCRATCH)/microrec bench -o BENCH_serve.json
 
 # loadtest-json sweeps open-loop offered load through 2.5x saturation and
 # writes BENCH_loadtest.json: the knee (max qps meeting the SLA), per-level
@@ -48,10 +52,12 @@ bench-json:
 # mmap'd cold tier 4x the DRAM hot budget, the committed BENCH_loadtest.json
 # shape (demonstrates bounded admitted p99 on a model larger than DRAM).
 loadtest-json:
+	mkdir -p $(BENCH_SCRATCH)
+	$(GO) build -o $(BENCH_SCRATCH)/microrec ./cmd/microrec
 ifeq ($(COLD),1)
-	$(GO) run ./cmd/microrec loadtest -cold-tier tmp -o BENCH_loadtest.json
+	$(BENCH_SCRATCH)/microrec loadtest -cold-tier tmp -o BENCH_loadtest.json
 else
-	$(GO) run ./cmd/microrec loadtest -o BENCH_loadtest.json
+	$(BENCH_SCRATCH)/microrec loadtest -o BENCH_loadtest.json
 endif
 
 # bench-smoke runs the datapath/serving benchmarks once each — a fast check
@@ -71,6 +77,13 @@ benchdiff:
 	GOMAXPROCS=1 $(GO) run ./cmd/microrec bench -n 512 -o $(BENCH_SCRATCH)/BENCH_serve.json
 	$(GO) run ./cmd/microrec benchdiff -baseline BENCH_serve.json -candidate $(BENCH_SCRATCH)/BENCH_serve.json
 
+# obs-smoke is the observability end-to-end check (exactly the CI step): a
+# live server with tracing + pprof on, real traffic, and validation of the
+# /metrics Prometheus exposition, the /trace trace-event JSON, and the pprof
+# mount.
+obs-smoke:
+	GO=$(GO) sh scripts/obs_smoke.sh
+
 # ci mirrors the CI job sequence locally (lint job + test job, one leg), so a
 # red CI reproduces in one command.
-ci: build vet fmt-check test test-noasm race bench-smoke benchdiff
+ci: build vet fmt-check test test-noasm race bench-smoke benchdiff obs-smoke

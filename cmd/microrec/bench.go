@@ -42,6 +42,10 @@ type benchReport struct {
 	// Empty in documents predating the kernel layer.
 	Kernels   string `json:"kernels,omitempty"`
 	Timestamp string `json:"timestamp"`
+	// BuildInfo names the commit and toolchain that produced the document
+	// (absent in documents predating the provenance stamp). benchdiff's
+	// -require-same-commit gate compares these.
+	BuildInfo *microrec.BuildInfo `json:"build_info,omitempty"`
 	// Tier records the tiered-store configuration and end-of-run counters
 	// when the run used -cold-tier (absent on all-DRAM runs, keeping the
 	// committed baseline schema unchanged).
@@ -193,6 +197,8 @@ func cmdBench(args []string) error {
 		Kernels:    microrec.KernelFeatures(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
+	bi := microrec.ReadBuildInfo()
+	rep.BuildInfo = &bi
 	opts := microrec.ServerOptions{
 		Window:        200 * time.Microsecond,
 		WorkerPool:    *workerPool,

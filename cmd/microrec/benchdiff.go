@@ -42,6 +42,30 @@ func envMismatch(baseline, candidate benchReport) []string {
 	return m
 }
 
+// requireSameCommit enforces -require-same-commit: both documents must carry
+// a build_info stamp naming the same git revision. Useful when judging two
+// runs that are supposed to measure the identical binary (A/B of a flag, a
+// rerun on quieter hardware) — a cross-commit pair would silently fold the
+// code delta into the "noise".
+func requireSameCommit(baseline, candidate benchReport) error {
+	switch {
+	case baseline.BuildInfo == nil:
+		return fmt.Errorf("benchdiff: -require-same-commit: baseline carries no build_info (predates the provenance stamp); regenerate it")
+	case candidate.BuildInfo == nil:
+		return fmt.Errorf("benchdiff: -require-same-commit: candidate carries no build_info; regenerate it with a current binary")
+	case baseline.BuildInfo.Revision == "unknown" || candidate.BuildInfo.Revision == "unknown":
+		return fmt.Errorf("benchdiff: -require-same-commit: build_info revision is \"unknown\" (binary built outside a git checkout) — cannot prove the documents share a commit")
+	case baseline.BuildInfo.Revision != candidate.BuildInfo.Revision:
+		return fmt.Errorf("benchdiff: -require-same-commit: baseline is revision %s but candidate is %s — not the same code",
+			baseline.BuildInfo.Revision, candidate.BuildInfo.Revision)
+	}
+	if baseline.BuildInfo.Dirty || candidate.BuildInfo.Dirty {
+		fmt.Printf("note: same revision %s but a dirty working tree was involved (baseline dirty=%v, candidate dirty=%v)\n",
+			baseline.BuildInfo.Revision, baseline.BuildInfo.Dirty, candidate.BuildInfo.Dirty)
+	}
+	return nil
+}
+
 // loadBenchReport reads and decodes one bench JSON document.
 func loadBenchReport(path string) (benchReport, error) {
 	raw, err := os.ReadFile(path)
@@ -116,6 +140,7 @@ func cmdBenchdiff(args []string) error {
 	candidate := fs.String("candidate", "", "freshly generated bench JSON to judge (required)")
 	tol := fs.Float64("tol", 0.25, "allowed ns_per_query regression fraction before failing (0.25 = +25%)")
 	allowEnv := fs.Bool("allow-env-mismatch", false, "compare despite model/mode/shards/gomaxprocs differences between baseline and candidate")
+	sameCommit := fs.Bool("require-same-commit", false, "refuse the comparison unless both documents carry build_info naming the same git revision (off by default: the CI gate deliberately compares the committed baseline's commit against the candidate's)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +163,11 @@ func cmdBenchdiff(args []string) error {
 			return fmt.Errorf("benchdiff: baseline and candidate measured different environments (%s) — the ns/query ratio is not a datapath comparison; rerun in the baseline's environment or pass -allow-env-mismatch", strings.Join(mism, "; "))
 		}
 		fmt.Printf("note: env mismatch accepted (-allow-env-mismatch): %s\n", strings.Join(mism, "; "))
+	}
+	if *sameCommit {
+		if err := requireSameCommit(baseRep, candRep); err != nil {
+			return err
+		}
 	}
 	if baseRep.Kernels != candRep.Kernels {
 		fmt.Printf("note: kernels %q vs baseline %q\n", candRep.Kernels, baseRep.Kernels)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"microrec"
 )
 
 func writeBenchJSON(t *testing.T, dir, name string, rep benchReport) string {
@@ -120,6 +122,40 @@ func TestBenchdiffEnvGate(t *testing.T) {
 	cand := writeBenchJSON(t, dir, "kernels.json", rep)
 	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand}); err != nil {
 		t.Fatalf("kernels difference refused: %v", err)
+	}
+}
+
+// TestBenchdiffSameCommitGate pins the -require-same-commit contract: off by
+// default (the CI gate compares across commits on purpose), and when enabled
+// it demands both documents carry build_info naming one known revision.
+func TestBenchdiffSameCommitGate(t *testing.T) {
+	dir := t.TempDir()
+	stamped := func(rev string) benchReport {
+		rep := serveReport(map[int]float64{1: 1000, 16: 500, 64: 300})
+		if rev != "" {
+			rep.BuildInfo = &microrec.BuildInfo{Revision: rev, GoVersion: "go1.22"}
+		}
+		return rep
+	}
+	baseA := writeBenchJSON(t, dir, "baseA.json", stamped("aaaa"))
+	candA := writeBenchJSON(t, dir, "candA.json", stamped("aaaa"))
+	candB := writeBenchJSON(t, dir, "candB.json", stamped("bbbb"))
+	unstamped := writeBenchJSON(t, dir, "unstamped.json", stamped(""))
+	unknown := writeBenchJSON(t, dir, "unknown.json", stamped("unknown"))
+
+	// Default: cross-commit pairs compare fine (the CI gate's shape).
+	if err := cmdBenchdiff([]string{"-baseline", baseA, "-candidate", candB}); err != nil {
+		t.Fatalf("cross-commit pair refused without -require-same-commit: %v", err)
+	}
+	// Same revision passes the strict gate.
+	if err := cmdBenchdiff([]string{"-baseline", baseA, "-candidate", candA, "-require-same-commit"}); err != nil {
+		t.Fatalf("same-commit pair refused: %v", err)
+	}
+	// Different revisions, missing stamps and unknown revisions are refused.
+	for name, cand := range map[string]string{"cross-commit": candB, "unstamped": unstamped, "unknown-revision": unknown} {
+		if err := cmdBenchdiff([]string{"-baseline", baseA, "-candidate", cand, "-require-same-commit"}); err == nil {
+			t.Errorf("%s candidate passed -require-same-commit", name)
+		}
 	}
 }
 

@@ -34,6 +34,9 @@ type loadtestReport struct {
 	// selected (microrec.KernelFeatures; "portable" under the noasm tag).
 	Kernels   string `json:"kernels,omitempty"`
 	Timestamp string `json:"timestamp"`
+	// BuildInfo names the commit and toolchain that produced the document
+	// (absent in documents predating the provenance stamp).
+	BuildInfo *microrec.BuildInfo `json:"build_info,omitempty"`
 	// CalibratedQPS is the saturation goodput the auto ladder was built
 	// around (0 when -loads was given explicitly).
 	CalibratedQPS float64 `json:"calibrated_qps,omitempty"`
@@ -172,6 +175,8 @@ func cmdLoadtest(args []string) error {
 		Kernels:         microrec.KernelFeatures(),
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 	}
+	bi := microrec.ReadBuildInfo()
+	rep.BuildInfo = &bi
 
 	if ladder == nil {
 		// Calibrate: offer far past any plausible capacity; a shedding

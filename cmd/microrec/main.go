@@ -11,6 +11,8 @@
 //	microrec bench -o BENCH_serve.json            serving perf per batch size
 //	microrec loadtest -sla 25ms                   open-loop sweep: knee + tail under overload
 //	microrec benchdiff -candidate new.json        bench-regression gate vs the committed baseline
+//	microrec smoke -addr http://localhost:8080    drive traffic, validate /metrics + /trace
+//	microrec version                              build provenance (revision, toolchain, kernels)
 //	microrec list                                 list available experiments
 package main
 
@@ -53,6 +55,10 @@ func run(args []string) error {
 		return cmdLoadtest(args[1:])
 	case "benchdiff":
 		return cmdBenchdiff(args[1:])
+	case "version":
+		return cmdVersion(args[1:])
+	case "smoke":
+		return cmdSmoke(args[1:])
 	case "kernels":
 		// Which optimized datapath kernels this binary selected at init —
 		// the provenance string bench/loadtest documents record. "portable"
@@ -84,7 +90,11 @@ commands:
   benchdiff        compare a fresh bench JSON against the committed baseline,
                    fail on ns/query regressions beyond the tolerance (CI gate)
   kernels          print which optimized datapath kernels this build selected
-  trace            export a chrome://tracing pipeline trace
+  version          print build provenance (git revision, Go toolchain, kernels)
+  trace            export a chrome://tracing trace — simulated pipeline timing
+                   by default, or real request spans with -live (GET /trace)
+  smoke            drive traffic at a running server and validate its
+                   /metrics and /trace telemetry (CI observability check)
   spec             print a model specification
   list             list available experiments
 

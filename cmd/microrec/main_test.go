@@ -111,7 +111,7 @@ func testMux(t testing.TB, opts microrec.ServerOptions) (*http.ServeMux, *micror
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	return newServeMux(eng, srv), eng
+	return newServeMux(eng, srv, false), eng
 }
 
 // TestServeMuxPredict covers the happy path of the batched /predict.
@@ -295,7 +295,7 @@ func TestServeMuxStatsHotCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	mux := newServeMux(eng, srv)
+	mux := newServeMux(eng, srv, false)
 
 	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 7)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -41,8 +42,12 @@ type modelInfoResponse struct {
 
 // newServeMux builds the HTTP API around an engine and its batched server
 // (split out for tests). Requests to /predict are coalesced by srv into
-// micro-batches; /stats exposes the server's rolling serving statistics.
-func newServeMux(eng *microrec.Engine, srv *microrec.Server) *http.ServeMux {
+// micro-batches; /stats exposes the server's rolling serving statistics,
+// /metrics the same telemetry in Prometheus text format, and /trace the
+// flight recorder's recent spans as a chrome://tracing JSON document. When
+// withPprof is set the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/.
+func newServeMux(eng *microrec.Engine, srv *microrec.Server, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	spec := eng.Spec()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +101,49 @@ func newServeMux(eng *microrec.Engine, srv *microrec.Server) *http.ServeMux {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, srv.Stats())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := srv.WriteMetrics(w); err != nil {
+			log.Printf("serve: metrics: %v", err)
+		}
+	})
+	// GET /trace?last=N&seconds=S — the flight recorder's recent spans as a
+	// Chrome trace-event JSON array (open in chrome://tracing or Perfetto).
+	// last bounds the span count (0 = the whole ring); seconds keeps only
+	// spans that started within the trailing window.
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		last := 0
+		if s := q.Get("last"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad last: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		var since time.Time
+		if s := q.Get("seconds"); s != "" {
+			sec, err := strconv.ParseFloat(s, 64)
+			if err != nil || sec <= 0 {
+				http.Error(w, "bad seconds: want a positive number", http.StatusBadRequest)
+				return
+			}
+			since = time.Now().Add(-time.Duration(sec * float64(time.Second)))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		events := microrec.SpanTraceEvents(srv.Trace(last, since))
+		if err := microrec.WriteTraceEvents(w, events); err != nil {
+			log.Printf("serve: trace: %v", err)
+		}
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, modelInfoResponse{
 			Name:       spec.Name,
@@ -133,6 +181,8 @@ func cmdServe(args []string) error {
 	shed := fs.Bool("shed", false, "fail fast with 429 + Retry-After when the submit queue is full, instead of blocking on backpressure")
 	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off; with -shards, split across per-shard caches); hit rate and effective lookup latency appear in /stats")
 	shards := fs.Int("shards", 1, "gather shards of the scatter/gather serving tier (1 = single engine); per-shard occupancy, merge-wait and imbalance appear in /stats.cluster")
+	traceSample := fs.Int("trace-sample", microrec.DefaultTraceSample, "flight-recorder head sampling: record every Nth request's span (1 = every request, visible at GET /trace)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	applyColdTier := addColdTierFlags(fs, "serve")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +213,9 @@ func cmdServe(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("serve: -shards must be >= 1 (got %d)", *shards)
 	}
+	if *traceSample < 1 {
+		return fmt.Errorf("serve: -trace-sample must be >= 1 (got %d); use 1 to trace every request", *traceSample)
+	}
 	spec, _, err := specByName(*modelName)
 	if err != nil {
 		return err
@@ -189,6 +242,7 @@ func cmdServe(args []string) error {
 		Shed:          *shed,
 		SLA:           *slaBudget,
 		Shards:        *shards,
+		TraceSample:   *traceSample,
 	})
 	if err != nil {
 		return err
@@ -227,7 +281,11 @@ func cmdServe(args []string) error {
 	if *shards > 1 {
 		drainNote += fmt.Sprintf(", %d gather shards", *shards)
 	}
-	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %s%s — POST /predict, GET /model, GET /stats, GET /healthz",
-		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, drainNote, cacheNote)
-	return http.ListenAndServe(*addr, newServeMux(eng, srv))
+	endpoints := "POST /predict, GET /model, GET /stats, GET /metrics, GET /trace, GET /healthz"
+	if *pprofOn {
+		endpoints += ", GET /debug/pprof/"
+	}
+	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %s%s, tracing 1-in-%d — %s",
+		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, drainNote, cacheNote, *traceSample, endpoints)
+	return http.ListenAndServe(*addr, newServeMux(eng, srv, *pprofOn))
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"microrec"
+)
+
+// cmdVersion prints the binary's build provenance: the same build_info
+// document stamped into /stats, /metrics and the BENCH JSONs, so a report
+// can always be matched back to the binary that produced it.
+func cmdVersion(args []string) error {
+	fs := newFlagSet("version")
+	asJSON := fs.Bool("json", false, "emit the build_info JSON document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bi := microrec.ReadBuildInfo()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(bi)
+	}
+	dirty := ""
+	if bi.Dirty {
+		dirty = " (dirty)"
+	}
+	fmt.Printf("microrec revision %s%s\n", bi.Revision, dirty)
+	fmt.Printf("go        %s\n", bi.GoVersion)
+	fmt.Printf("kernels   %s\n", bi.Kernels)
+	return nil
+}

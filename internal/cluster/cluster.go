@@ -319,6 +319,7 @@ func (c *Cluster) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratc
 	var (
 		firstAt, lastAt time.Time
 		maxNS, sumNS    int64
+		coldFaults      int64
 	)
 	for range c.shards {
 		d := <-done
@@ -332,6 +333,7 @@ func (c *Cluster) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratc
 			lastAt = d.doneAt
 		}
 		c.eng.MergePartialPlane(b, d.sh.spans, d.plane, s)
+		coldFaults += d.plane.GatherObs().ColdFaults
 		d.sh.ring.Release(d.plane)
 		if d.serviceNS > maxNS {
 			maxNS = d.serviceNS
@@ -339,10 +341,19 @@ func (c *Cluster) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratc
 		sumNS += d.serviceNS
 	}
 	c.batches.Add(1)
-	c.mergeWaitUS.Observe(float64(lastAt.Sub(firstAt)) / float64(time.Microsecond))
+	mergeWait := lastAt.Sub(firstAt)
+	c.mergeWaitUS.Observe(float64(mergeWait) / float64(time.Microsecond))
 	if sumNS > 0 {
 		c.imbalance.Observe(lastAt, float64(maxNS)*float64(len(c.shards))/float64(sumNS))
 	}
+	// Replace the coordinator plane's (empty) gather record with the
+	// scatter-wide one, so the flight recorder sees shard detail per batch.
+	s.SetGatherObs(core.GatherObs{
+		ColdFaults:  coldFaults,
+		Shards:      len(c.shards),
+		ShardMaxNS:  maxNS,
+		MergeWaitNS: int64(mergeWait),
+	})
 }
 
 // DenseFromPlane runs the hidden FC tower on the merged plane — once, on the

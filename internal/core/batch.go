@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"microrec/internal/embedding"
 	"microrec/internal/fixedpoint"
@@ -20,13 +21,39 @@ import (
 // optimized kernels are property-tested bit-identical to the portable
 // reference), so batched predictions are bit-identical to InferOne.
 
+// GatherObs is the per-batch gather observability record the flight recorder
+// folds into a request span: cold-tier faults suffered by the batch's gather,
+// and — when the gather was a cluster scatter — the scatter width, slowest
+// shard service and merge wait. A single-engine gather leaves Shards at 0.
+type GatherObs struct {
+	ColdFaults  int64
+	Shards      int
+	ShardMaxNS  int64
+	MergeWaitNS int64
+}
+
 // BatchScratch holds the reusable buffers of the batched datapath. A scratch
 // is owned by one goroutine at a time; distinct goroutines must use distinct
-// scratches (the engine itself stays immutable and shareable).
+// scratches (the engine itself stays immutable and shareable). Scratches are
+// never copied by value — the embedded atomic pins that contract.
 type BatchScratch struct {
 	x []int64 // batch x width quantized activations (gathered features / layer input)
 	y []int64 // batch x width wide accumulators / layer output
+
+	// coldFaults accumulates tiered-store cold reads across the gather's
+	// shard goroutines (atomic because shards of one batch add concurrently);
+	// the gather entry point resets it and folds the total into obs.
+	coldFaults atomic.Int64
+	obs        GatherObs
 }
+
+// GatherObs returns the observability record of the scratch's most recent
+// gather. Valid between a gather's return and the next gather on the scratch.
+func (s *BatchScratch) GatherObs() GatherObs { return s.obs }
+
+// SetGatherObs overwrites the record — the cluster coordinator uses this to
+// replace a partial-gather record with the merged scatter-wide one.
+func (s *BatchScratch) SetGatherObs(o GatherObs) { s.obs = o }
 
 // ensure grows the scratch to hold a batch of b queries for engine e.
 func (s *BatchScratch) ensure(e *Engine, b int) {

@@ -409,9 +409,13 @@ func (e *Engine) TimingAt(items int, lookupNS float64) (TimingReport, error) {
 	return e.cfg.Simulate(e.spec, lookupNS, items)
 }
 
-// TracePipeline simulates `items` inferences and writes a Chrome-trace JSON
-// of every stage occupancy to w (open it in chrome://tracing or Perfetto to
-// inspect pipeline balance).
+// TracePipeline is the SIMULATED tracer: it runs `items` inferences through
+// the pipesim timing model (no functional computation, no live traffic) and
+// writes a Chrome-trace JSON of every modeled stage occupancy to w (open it
+// in chrome://tracing or Perfetto to inspect pipeline balance). For traces of
+// real requests use the serving tier's flight recorder instead — GET /trace
+// on a running server, or `microrec trace -live`. Both writers share the
+// trace-event format code in internal/obs, so the outputs load identically.
 func (e *Engine) TracePipeline(items int, w io.Writer) (TimingReport, error) {
 	p, err := e.cfg.BuildPipeline(e.spec, e.pipelineNS)
 	if err != nil {

@@ -304,6 +304,7 @@ func (e *Engine) GatherBatch(queries []embedding.Query, scratch *BatchScratch) (
 // passed ValidateQuery; the loop performs no validation and no allocation.
 func (e *Engine) gatherBatchValidated(queries []embedding.Query, s *BatchScratch) {
 	b := len(queries)
+	s.coldFaults.Store(0)
 	// The scratch is reused, so zero the dense tail of every feature row;
 	// the embedding region is fully overwritten by the table passes.
 	e.ZeroDenseTail(b, s)
@@ -311,14 +312,15 @@ func (e *Engine) gatherBatchValidated(queries []embedding.Query, s *BatchScratch
 		for _, shard := range e.gplan.shards {
 			e.gatherTables(shard, queries, s, e.cache)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(e.gplan.shards))
+		for _, shard := range e.gplan.shards {
+			go e.gatherShard(&wg, shard, queries, s)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(e.gplan.shards))
-	for _, shard := range e.gplan.shards {
-		go e.gatherShard(&wg, shard, queries, s)
-	}
-	wg.Wait()
+	s.obs = GatherObs{ColdFaults: s.coldFaults.Load()}
 }
 
 func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embedding.Query, s *BatchScratch) {
@@ -342,6 +344,10 @@ func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embeddi
 func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
 	f := e.cfg.Precision
 	w := e.width
+	// Cold-tier faults accumulate in a local and fold into the scratch once
+	// at the end: shards of one batch share the scratch concurrently, and one
+	// atomic add per shard beats one per row.
+	var cold int64
 	for _, ti := range tables {
 		gt := &e.gplan.tables[ti]
 		if gt.mat != nil {
@@ -359,7 +365,11 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 					}
 					var payload []float32
 					if gt.tier != nil {
-						payload = gt.tier.Row(row)
+						var wasCold bool
+						payload, wasCold = gt.tier.RowTagged(row)
+						if wasCold {
+							cold++
+						}
 					} else {
 						payload = gt.mat[row*dim : row*dim+dim]
 					}
@@ -393,7 +403,11 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 					}
 					var vec []float32
 					if src.tier != nil {
-						vec = src.tier.Row(mrow)
+						var wasCold bool
+						vec, wasCold = src.tier.RowTagged(mrow)
+						if wasCold {
+							cold++
+						}
 					} else {
 						vec = src.data[mrow*d64 : mrow*d64+d64]
 					}
@@ -402,6 +416,9 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 				}
 			}
 		}
+	}
+	if cold != 0 {
+		s.coldFaults.Add(cold)
 	}
 }
 

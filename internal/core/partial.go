@@ -68,7 +68,9 @@ func (e *Engine) PartialSpans(tables []int) ([]ColSpan, error) {
 // touch columns outside the listed tables' spans — in particular the dense
 // tail, which the coordinator owns (ZeroDenseTail).
 func (e *Engine) GatherPartialIntoPlane(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
+	s.coldFaults.Store(0)
 	e.gatherTables(tables, queries, s, cache)
+	s.obs = GatherObs{ColdFaults: s.coldFaults.Load()}
 }
 
 // ZeroDenseTail zeroes the dense tail of the plane's first b feature rows —

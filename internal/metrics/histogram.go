@@ -212,6 +212,36 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.quantileLocked(p)
 }
 
+// CumulativeBucket is one Prometheus-style cumulative histogram bucket:
+// Count observations landed at or below the bucket's upper edge.
+type CumulativeBucket struct {
+	UpperEdge float64
+	Count     uint64
+}
+
+// CumulativeBuckets renders the histogram as Prometheus cumulative buckets:
+// only occupied log-buckets are emitted (each with its nominal upper edge and
+// the running count), so the /metrics exposition stays proportional to the
+// observed value spread rather than the configured range. The final +Inf
+// bucket is the caller's to write (its count is the returned total). Also
+// returns the exact sum and total count for the _sum/_count series.
+func (h *Histogram) CumulativeBuckets() (buckets []CumulativeBucket, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		buckets = append(buckets, CumulativeBucket{
+			UpperEdge: math.Pow(h.gamma, float64(i+1)),
+			Count:     cum,
+		})
+	}
+	return buckets, h.sum, h.count
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricWriter emits Prometheus text exposition format (version 0.0.4): the
+// one renderer behind GET /metrics. It is deliberately tiny — families,
+// labeled samples, HELP/TYPE comments — because the repo takes no
+// dependencies; the format is stable and simple enough to own.
+//
+// Errors are sticky: the first write failure is remembered and every later
+// call is a no-op, so callers check Err() once at the end.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter { return &MetricWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// Metric is one metric family being written: Family emitted its HELP/TYPE
+// header; Sample lines follow.
+type Metric struct {
+	w    *MetricWriter
+	name string
+}
+
+// Family starts a metric family: one HELP and one TYPE line. typ is
+// "gauge", "counter", "histogram" or "summary".
+func (m *MetricWriter) Family(name, help, typ string) *Metric {
+	m.printf("# HELP %s %s\n", name, escapeHelp(help))
+	m.printf("# TYPE %s %s\n", name, typ)
+	return &Metric{w: m, name: name}
+}
+
+// Sample writes one sample line for the family under an explicit name (the
+// family name itself, or a suffixed series like <name>_bucket / _sum /
+// _count). labels are key/value pairs; keys are emitted sorted so the output
+// is deterministic.
+func (mt *Metric) Sample(name string, v float64, labels ...string) {
+	if name == "" {
+		name = mt.name
+	}
+	mt.w.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// Obs writes one sample line under the family's own name.
+func (mt *Metric) Obs(v float64, labels ...string) { mt.Sample("", v, labels...) }
+
+// Gauge is the one-line convenience: family header plus a single unlabeled
+// sample.
+func (m *MetricWriter) Gauge(name, help string, v float64) {
+	m.Family(name, help, "gauge").Obs(v)
+}
+
+// Counter is Gauge for monotone counters.
+func (m *MetricWriter) Counter(name, help string, v float64) {
+	m.Family(name, help, "counter").Obs(v)
+}
+
+// Info writes an info-style gauge: constant value 1, identity carried in the
+// labels (the Prometheus convention for build/version provenance).
+func (m *MetricWriter) Info(name, help string, labels ...string) {
+	m.Family(name, help, "gauge").Obs(1, labels...)
+}
+
+// formatLabels renders {k="v",...} with keys sorted, or "" when empty.
+func formatLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	n := len(kv) / 2 * 2
+	pairs := make([][2]string, 0, n/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: Go float formatting, with the
+// exposition format's spellings for the non-finite cases.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -134,16 +134,41 @@ type plane struct {
 	scratch core.BatchScratch
 }
 
-// stageIndex names the executor's stages.
+// Stage indices of the executor, in datapath order. Exported so observers
+// (PlaneObserver) and the serving tier's flight recorder can name the stage a
+// boundary timestamp belongs to.
 const (
-	stageGather = iota
-	stageDense
-	stageTail
-	numStages
+	StageGather = iota
+	StageDense
+	StageTail
+	NumStages
 )
 
 // stageNames label the stages in snapshots, matching pipesim conventions.
-var stageNames = [numStages]string{"gather", "dense-gemm", "tail"}
+var stageNames = [NumStages]string{"gather", "dense-gemm", "tail"}
+
+// StageName returns the snapshot label of a stage index ("" out of range).
+func StageName(stage int) string {
+	if stage < 0 || stage >= NumStages {
+		return ""
+	}
+	return stageNames[stage]
+}
+
+// PlaneObserver is the optional observability seam on a batch payload: when
+// the payload passed to Submit implements it, each stage loop reports its
+// boundary timestamps (and the gather stage its GatherObs) as the plane moves
+// through. Calls arrive on the stage goroutines in datapath order —
+// implementations must not block; the serving tier uses plain stores into a
+// per-batch record that is only read after delivery. Payloads that do not
+// implement the interface pay one type assertion per stage and nothing else.
+type PlaneObserver interface {
+	// ObserveStage reports one stage's service window on this plane.
+	ObserveStage(stage int, start, end time.Time)
+	// ObserveGather reports the gather's observability record (cold faults,
+	// scatter detail); called once per plane, right after the gather stage.
+	ObserveGather(obs core.GatherObs)
+}
 
 // stageMeter accumulates one stage's service observations.
 type stageMeter struct {
@@ -173,7 +198,7 @@ type Executor struct {
 	tailQ   chan *plane
 	wg      sync.WaitGroup
 
-	stages [numStages]stageMeter
+	stages [NumStages]stageMeter
 	// interval tracks per-completion pipeline-busy gaps: each batch observes
 	// now - max(previous completion, its own Submit time). The entered floor
 	// excludes idle time waiting for arrivals (which would measure load, not
@@ -225,7 +250,7 @@ func New(eng StageEngine, opts Options) (*Executor, error) {
 		eng.EnsurePlane(&p.scratch, opts.MaxBatch)
 		x.free <- p
 	}
-	x.wg.Add(numStages)
+	x.wg.Add(NumStages)
 	go x.gatherLoop()
 	go x.denseLoop()
 	go x.tailLoop()
@@ -298,7 +323,12 @@ func (x *Executor) gatherLoop() {
 		}
 		t0 := time.Now()
 		x.eng.GatherIntoPlane(p.queries, &p.scratch)
-		x.stages[stageGather].record(time.Now(), time.Since(t0))
+		now := time.Now()
+		x.stages[StageGather].record(now, now.Sub(t0))
+		if ob, ok := p.payload.(PlaneObserver); ok {
+			ob.ObserveStage(StageGather, t0, now)
+			ob.ObserveGather(p.scratch.GatherObs())
+		}
 		x.denseQ <- p
 	}
 }
@@ -314,7 +344,11 @@ func (x *Executor) denseLoop() {
 		}
 		t0 := time.Now()
 		x.eng.DenseFromPlane(len(p.queries), &p.scratch)
-		x.stages[stageDense].record(time.Now(), time.Since(t0))
+		now := time.Now()
+		x.stages[StageDense].record(now, now.Sub(t0))
+		if ob, ok := p.payload.(PlaneObserver); ok {
+			ob.ObserveStage(StageDense, t0, now)
+		}
 		x.tailQ <- p
 	}
 }
@@ -333,7 +367,12 @@ func (x *Executor) tailLoop() {
 		t0 := time.Now()
 		x.eng.TailFromPlane(b, &p.scratch, p.preds[:b])
 		now := time.Now()
-		x.stages[stageTail].record(now, now.Sub(t0))
+		x.stages[StageTail].record(now, now.Sub(t0))
+		// The observer fires before Deliver so the batch record is complete
+		// by the time futures resolve.
+		if ob, ok := p.payload.(PlaneObserver); ok {
+			ob.ObserveStage(StageTail, t0, now)
+		}
 		x.opts.Deliver(p.payload, p.preds[:b])
 		// Busy gap: from the later of the previous completion and this
 		// batch's Submit (see the interval field for why the floor matters).
@@ -412,9 +451,9 @@ func (x *Executor) Snapshot() Snapshot {
 		MaxBatch:  x.opts.MaxBatch,
 		InFlight:  x.InFlight(),
 		Completed: x.completed.Load(),
-		Stages:    make([]StageSnapshot, numStages),
+		Stages:    make([]StageSnapshot, NumStages),
 	}
-	meansNS := make([]float64, numStages)
+	meansNS := make([]float64, NumStages)
 	for i := range x.stages {
 		m := &x.stages[i]
 		s := m.service.Snapshot(now)
@@ -463,7 +502,7 @@ func (x *Executor) MeanBatchServiceNS() float64 {
 // queue slot.
 func (x *Executor) PredictedIntervalNS() float64 {
 	now := time.Now()
-	meansNS := make([]float64, numStages)
+	meansNS := make([]float64, NumStages)
 	for i := range x.stages {
 		meansNS[i] = x.stages[i].service.Snapshot(now).Summary.Mean
 	}

@@ -303,12 +303,12 @@ func TestCrossCheckAgainstPipesim(t *testing.T) {
 	if snap.Completed != batches {
 		t.Errorf("snapshot completed %d, want %d", snap.Completed, batches)
 	}
-	if len(snap.Stages) != numStages {
+	if len(snap.Stages) != NumStages {
 		t.Fatalf("snapshot has %d stages", len(snap.Stages))
 	}
-	if snap.Stages[stageDense].MeanServiceUS < snap.Stages[stageTail].MeanServiceUS {
+	if snap.Stages[StageDense].MeanServiceUS < snap.Stages[StageTail].MeanServiceUS {
 		t.Errorf("dense stage (%v us) should dominate tail (%v us)",
-			snap.Stages[stageDense].MeanServiceUS, snap.Stages[stageTail].MeanServiceUS)
+			snap.Stages[StageDense].MeanServiceUS, snap.Stages[StageTail].MeanServiceUS)
 	}
 	if snap.PredictedIntervalUS <= 0 || snap.MeasuredIntervalUS <= 0 {
 		t.Errorf("snapshot intervals: measured %v us, predicted %v us",

@@ -1,9 +1,10 @@
 package pipesim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"microrec/internal/obs"
 )
 
 // StageEvent records one item's occupancy of one stage during a simulation.
@@ -28,24 +29,14 @@ func (p *Pipeline) Trace(items int) ([]StageEvent, Result, error) {
 	return events, res, nil
 }
 
-// chromeEvent is the Chrome trace-event format (complete events, "X" phase).
-type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
-	Args any     `json:"args,omitempty"`
-}
-
 // ChromeTrace writes the events as a chrome://tracing / Perfetto-compatible
 // JSON array. Each stage becomes a track (tid) and each item an event on it.
+// Serialization goes through obs.TraceEvent — the same writer the live tracer
+// (GET /trace) uses — so simulated and live traces share one wire format.
 func ChromeTrace(w io.Writer, events []StageEvent) error {
-	out := make([]chromeEvent, len(events))
+	out := make([]obs.TraceEvent, len(events))
 	for i, e := range events {
-		out[i] = chromeEvent{
+		out[i] = obs.TraceEvent{
 			Name: fmt.Sprintf("item %d", e.Item),
 			Cat:  e.Name,
 			Ph:   "X",
@@ -56,9 +47,5 @@ func ChromeTrace(w io.Writer, events []StageEvent) error {
 			Args: map[string]any{"stage": e.Name},
 		}
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(out); err != nil {
-		return fmt.Errorf("pipesim: encoding trace: %w", err)
-	}
-	return nil
+	return obs.WriteTraceEvents(w, out)
 }

@@ -33,11 +33,22 @@ import (
 	"microrec/internal/cluster"
 	"microrec/internal/core"
 	"microrec/internal/embedding"
+	"microrec/internal/kernels"
 	"microrec/internal/metrics"
+	"microrec/internal/obs"
 	"microrec/internal/pipeline"
 	"microrec/internal/sla"
 	"microrec/internal/tieredstore"
 )
+
+// traceRingSize is the flight recorder's span ring capacity. 4096 spans ≈
+// 0.5 MiB of slots; at the default 1-in-8 sampling it holds the last ~32k
+// requests' worth of traffic, comfortably covering a /trace scrape window.
+const traceRingSize = 4096
+
+// DefaultTraceSample is the default head-sampling rate of the flight
+// recorder: one request in 8 is recorded.
+const DefaultTraceSample = 8
 
 // ErrServerClosed is returned by Submit after Close.
 var ErrServerClosed = errors.New("serving: server closed")
@@ -154,6 +165,12 @@ type Options struct {
 	// /stats gains a "cluster" section. 0 or 1 serves on the engine
 	// directly.
 	Shards int
+	// TraceSample is the flight recorder's head-sampling rate: one request
+	// in TraceSample is recorded as a full stage-decomposition span
+	// (readable via GET /trace or Server.Trace). 1 records every request;
+	// default DefaultTraceSample (8). The recorder is always on — an
+	// unsampled request pays a single atomic increment.
+	TraceSample int
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -175,6 +192,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PipelineDepth == 0 {
 		o.PipelineDepth = 3
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = DefaultTraceSample
 	}
 	return o
 }
@@ -204,6 +224,9 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("serving: shard count %d", o.Shards)
+	}
+	if o.TraceSample < 1 {
+		return fmt.Errorf("serving: trace sample %d (1 records every request)", o.TraceSample)
 	}
 	return nil
 }
@@ -237,6 +260,11 @@ type request struct {
 	// enq+Options.SLA and the context deadline.
 	deadline time.Time
 	done     chan outcome // buffered(1): workers never block on abandoned waiters
+	// sampled marks the request as flight-recorded (decided once at Submit);
+	// flushed is when the batcher dispatched its micro-batch (stamped for
+	// sampled requests only — it splits queue wait from batch wait).
+	sampled bool
+	flushed time.Time
 }
 
 // expired returns the error a stale request resolves with at batch-formation
@@ -305,6 +333,14 @@ type Server struct {
 
 	latencyUS *metrics.Rolling // per-query wall latency, µs
 	occupancy *metrics.Rolling // dispatched batch sizes
+	// latencyHist is the lifetime log-bucketed latency histogram behind the
+	// /metrics exposition's _bucket series (the Rolling window above feeds
+	// the /stats quantiles; both observe the same stamps).
+	latencyHist *metrics.Histogram
+	// rec is the always-on flight recorder (see internal/obs); buildInfo the
+	// binary's provenance, surfaced in /stats and /metrics.
+	rec       *obs.Recorder
+	buildInfo obs.BuildInfo
 
 	timingMu    sync.Mutex
 	timingCache map[timingKey]core.TimingReport
@@ -378,8 +414,13 @@ func New(eng Engine, opts Options) (*Server, error) {
 		ownsCluster: ownsCluster,
 		submit:      make(chan *request, opts.QueueDepth),
 		batches:     make(chan []*request, 2*opts.Workers),
+		// Latencies span µs (warm single-query) to seconds (overload tails);
+		// 1% relative error over [1, 10^7] µs.
+		latencyHist: metrics.NewHistogram(0.01, 1e7),
 		latencyUS:   metrics.NewRolling(opts.StatsWindow),
 		occupancy:   metrics.NewRolling(opts.StatsWindow),
+		rec:         obs.NewRecorder(traceRingSize, opts.TraceSample),
+		buildInfo:   obs.ReadBuild(kernels.Features()),
 		timingCache: make(map[timingKey]core.TimingReport),
 	}
 	// The assertion runs on the possibly cluster-wrapped engine so the
@@ -430,6 +471,7 @@ func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) 
 		return Result{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
 	req := &request{q: q, ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
+	req.sampled = s.rec.Sample()
 	if s.opts.SLA > 0 {
 		req.deadline = req.enq.Add(s.opts.SLA)
 	}
@@ -478,6 +520,13 @@ func (s *Server) enqueue(ctx context.Context, req *request) error {
 			return nil
 		default:
 			s.shed.Add(1)
+			if req.sampled {
+				s.rec.Record(obs.Span{
+					Start:      req.enq.UnixNano(),
+					EndToEndNS: int64(time.Since(req.enq)),
+					Verdict:    obs.VerdictShed,
+				})
+			}
 			return ErrOverloaded
 		}
 	}
@@ -563,6 +612,17 @@ func (s *Server) batcher() {
 	flush := func() {
 		stopTimer()
 		if len(pending) > 0 {
+			// Stamp the flush for sampled requests: it splits a span's queue
+			// wait (batch formation) from its batch wait (dispatch to service).
+			var now time.Time
+			for _, r := range pending {
+				if r.sampled {
+					if now.IsZero() {
+						now = time.Now()
+					}
+					r.flushed = now
+				}
+			}
 			s.batches <- pending
 			pending = nil
 		}
@@ -619,10 +679,29 @@ func (s *Server) resolveExpired(r *request, cutoff time.Time) error {
 	if err == nil {
 		return nil
 	}
+	verdict := obs.VerdictCanceled
 	if errors.Is(err, ErrExpired) {
 		s.deadlineDrops.Add(1)
+		verdict = obs.VerdictExpired
 	} else {
 		s.cancelDrops.Add(1)
+	}
+	if r.sampled {
+		now := time.Now()
+		sp := obs.Span{
+			Start:      r.enq.UnixNano(),
+			EndToEndNS: int64(now.Sub(r.enq)),
+			Verdict:    verdict,
+		}
+		// A dropped request's whole life is queue + batch wait: no stage was
+		// ever entered.
+		if !r.flushed.IsZero() {
+			sp.QueueNS = int64(r.flushed.Sub(r.enq))
+			sp.BatchWaitNS = int64(now.Sub(r.flushed))
+		} else {
+			sp.QueueNS = sp.EndToEndNS
+		}
+		s.rec.Record(sp)
 	}
 	r.done <- outcome{err: err}
 	return err
@@ -669,18 +748,51 @@ func (s *Server) worker() {
 		if s.tiered != nil {
 			s.tiered.PrefetchBatch(queries)
 		}
-		t0 := time.Now()
+		var bt batchTrace
+		bt.serviceStart = time.Now()
 		_, err := s.eng.InferBatchValidated(queries, preds[:len(batch)], &scratch)
-		s.wpServiceNS.Add(int64(time.Since(t0)))
+		bt.serviceEnd = time.Now()
+		bt.gather = scratch.GatherObs()
+		s.wpServiceNS.Add(int64(bt.serviceEnd.Sub(bt.serviceStart)))
 		s.wpBatches.Add(1)
-		s.complete(batch, preds[:len(batch)], err)
+		s.complete(batch, preds[:len(batch)], err, &bt)
 	}
 }
 
+// batchTrace carries one batch's stage boundary stamps and gather record from
+// the drain to complete(), where sampled requests' spans are assembled. The
+// pipelined drain fills it through pipeline.PlaneObserver (plain stores on the
+// stage goroutines, read only after delivery — the executor's channel
+// hand-offs order the accesses); the worker pool stamps its monolithic
+// service window directly. It lives inside the batch's payload (pipelined) or
+// on the worker's stack, so steady-state tracing allocates nothing.
+type batchTrace struct {
+	stageStart [pipeline.NumStages]time.Time
+	stageEnd   [pipeline.NumStages]time.Time
+	// serviceStart/End bracket the worker pool's monolithic
+	// InferBatchValidated call (zero in pipelined mode).
+	serviceStart, serviceEnd time.Time
+	gather                   core.GatherObs
+}
+
+// ObserveStage implements pipeline.PlaneObserver.
+func (t *batchTrace) ObserveStage(stage int, start, end time.Time) {
+	if stage >= 0 && stage < pipeline.NumStages {
+		t.stageStart[stage] = start
+		t.stageEnd[stage] = end
+	}
+}
+
+// ObserveGather implements pipeline.PlaneObserver.
+func (t *batchTrace) ObserveGather(o core.GatherObs) { t.gather = o }
+
 // planeBatch carries a batch through the pipeline executor. The Prepare hook
 // rewrites reqs when it drops expired requests, so the tail-stage Deliver
-// always sees exactly the requests whose queries were gathered.
+// always sees exactly the requests whose queries were gathered. The embedded
+// batchTrace makes the payload a pipeline.PlaneObserver, so the executor's
+// stage loops stamp it as the plane moves through.
 type planeBatch struct {
+	batchTrace
 	reqs []*request
 }
 
@@ -700,7 +812,7 @@ func (s *Server) dispatcher() {
 		}
 		pb := &planeBatch{reqs: batch}
 		if err := s.pipe.Submit(queries, pb); err != nil {
-			s.complete(batch, nil, err)
+			s.complete(batch, nil, err, nil)
 		}
 	}
 }
@@ -737,13 +849,14 @@ func (s *Server) prepare(payload interface{}, queries []embedding.Query) []embed
 // plane-owned and only valid during the call; complete resolves every future
 // synchronously (buffered done channels), so nothing outlives it.
 func (s *Server) deliver(payload interface{}, preds []float32) {
-	s.complete(payload.(*planeBatch).reqs, preds, nil)
+	pb := payload.(*planeBatch)
+	s.complete(pb.reqs, preds, nil, &pb.batchTrace)
 }
 
 // complete finishes one batch: the per-batch timing report, serving metrics,
-// and the response future of every request. On error all futures carry the
-// error instead.
-func (s *Server) complete(batch []*request, preds []float32, err error) {
+// flight-recorder spans for the batch's sampled requests, and the response
+// future of every request. On error all futures carry the error instead.
+func (s *Server) complete(batch []*request, preds []float32, err error, bt *batchTrace) {
 	var rep core.TimingReport
 	if err == nil {
 		rep, err = s.timing(len(batch))
@@ -754,9 +867,12 @@ func (s *Server) complete(batch []*request, preds []float32, err error) {
 	s.occupancy.Observe(now, float64(len(batch)))
 	if err == nil {
 		for _, r := range batch {
-			s.latencyUS.Observe(now, now.Sub(r.enq).Seconds()*1e6)
+			lat := now.Sub(r.enq).Seconds() * 1e6
+			s.latencyUS.Observe(now, lat)
+			s.latencyHist.Observe(lat)
 		}
 	}
+	s.recordSpans(batch, bt, now, err)
 	for i, r := range batch {
 		if err != nil {
 			r.done <- outcome{err: err}
@@ -770,6 +886,71 @@ func (s *Server) complete(batch []*request, preds []float32, err error) {
 		}}
 	}
 }
+
+// recordSpans writes the batch's sampled requests into the flight recorder.
+// now is the same stamp the latency metrics observed, so a span's EndToEndNS
+// and the rolling latency window agree exactly. The stage segments come from
+// the batch trace and are shared by every request in the batch — a request's
+// span is its own queue/batch waits followed by the batch's service timeline.
+func (s *Server) recordSpans(batch []*request, bt *batchTrace, now time.Time, err error) {
+	verdict := obs.VerdictOK
+	if err != nil {
+		verdict = obs.VerdictError
+	}
+	for _, r := range batch {
+		if !r.sampled {
+			continue
+		}
+		sp := obs.Span{
+			Start:      r.enq.UnixNano(),
+			EndToEndNS: int64(now.Sub(r.enq)),
+			Batch:      int32(len(batch)),
+			Verdict:    verdict,
+		}
+		flushed := r.flushed
+		if flushed.IsZero() {
+			flushed = r.enq
+		}
+		sp.QueueNS = int64(flushed.Sub(r.enq))
+		switch {
+		case bt != nil && !bt.stageStart[pipeline.StageGather].IsZero():
+			// Pipelined drain: batch wait runs from flush to gather entry
+			// (plane acquisition + prepare + prefetch); inter-stage waits are
+			// the gaps between one stage's exit and the next one's entry.
+			sp.BatchWaitNS = int64(bt.stageStart[pipeline.StageGather].Sub(flushed))
+			sp.GatherNS = int64(bt.stageEnd[pipeline.StageGather].Sub(bt.stageStart[pipeline.StageGather]))
+			sp.DenseWaitNS = int64(bt.stageStart[pipeline.StageDense].Sub(bt.stageEnd[pipeline.StageGather]))
+			sp.DenseNS = int64(bt.stageEnd[pipeline.StageDense].Sub(bt.stageStart[pipeline.StageDense]))
+			sp.TailWaitNS = int64(bt.stageStart[pipeline.StageTail].Sub(bt.stageEnd[pipeline.StageDense]))
+			sp.TailNS = int64(bt.stageEnd[pipeline.StageTail].Sub(bt.stageStart[pipeline.StageTail]))
+		case bt != nil && !bt.serviceStart.IsZero():
+			// Worker pool: one monolithic service segment.
+			sp.BatchWaitNS = int64(bt.serviceStart.Sub(flushed))
+			sp.ServiceNS = int64(bt.serviceEnd.Sub(bt.serviceStart))
+		default:
+			// No trace (dispatcher-submit failure): everything after the
+			// flush is batch wait.
+			sp.BatchWaitNS = int64(now.Sub(flushed))
+		}
+		if bt != nil {
+			sp.ColdFaults = int32(bt.gather.ColdFaults)
+			sp.Shards = int32(bt.gather.Shards)
+			sp.ShardMaxNS = bt.gather.ShardMaxNS
+			sp.MergeWaitNS = bt.gather.MergeWaitNS
+		}
+		s.rec.Record(sp)
+	}
+}
+
+// Trace snapshots up to `last` recent spans from the flight recorder (last
+// <= 0 means the whole ring), dropping spans that started before `since` when
+// it is non-zero — the data behind GET /trace.
+func (s *Server) Trace(last int, since time.Time) []obs.Span {
+	return s.rec.Snapshot(last, since)
+}
+
+// BuildInfo returns the binary's build provenance as surfaced in /stats.
+func (s *Server) BuildInfo() obs.BuildInfo { return s.buildInfo }
 
 // timing returns the modeled timing report for a batch size at the engine's
 // current effective lookup latency, cached per (size, hit-rate bucket) — the
@@ -843,6 +1024,14 @@ type ClusterStats = cluster.Stats
 // cold-latency bound.
 type TierStats = tieredstore.Snapshot
 
+// BuildInfo is the binary's build/version provenance (git revision, Go
+// toolchain, kernel dispatch) as surfaced in /stats and /metrics.
+type BuildInfo = obs.BuildInfo
+
+// TraceStats is the flight recorder's own counters: ring size, sampling rate,
+// arrivals and recorded spans.
+type TraceStats = obs.Stats
+
 // AdmissionStats is the /stats view of the admission gate: current queue
 // pressure, the shed and drop counters, and the server's own estimate of its
 // knee — the offered load beyond which it starts shedding.
@@ -905,6 +1094,15 @@ type Stats struct {
 	// Tiers reports the tiered backing store when one is attached (nil on
 	// all-DRAM engines).
 	Tiers *TierStats `json:"tiers,omitempty"`
+	// Trace reports the flight recorder: ring size, head-sampling rate,
+	// arrivals and recorded spans (the spans themselves are on /trace).
+	Trace TraceStats `json:"trace"`
+	// LatencyHistUS summarises the lifetime log-bucketed latency histogram
+	// behind the /metrics _bucket series (the rolling LatencyUS above covers
+	// only the last StatsWindow queries).
+	LatencyHistUS metrics.HistogramSnapshot `json:"latency_hist_us"`
+	// BuildInfo is the binary's build/version provenance.
+	BuildInfo BuildInfo `json:"build_info"`
 }
 
 // Mode reports the server's drain mode: "pipeline" or "worker-pool".
@@ -935,7 +1133,10 @@ func (s *Server) Stats() Stats {
 			P99:  lat.Summary.P99,
 			Max:  lat.Summary.Max,
 		},
-		MeanBatch: occ.Summary.Mean,
+		MeanBatch:     occ.Summary.Mean,
+		Trace:         s.rec.Stats(),
+		LatencyHistUS: s.latencyHist.Snapshot(),
+		BuildInfo:     s.buildInfo,
 		Admission: AdmissionStats{
 			QueueDepth:      len(s.submit),
 			QueueCapacity:   s.opts.QueueDepth,

@@ -1,0 +1,275 @@
+package serving
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"microrec/internal/cluster"
+	"microrec/internal/metrics"
+	"microrec/internal/obs"
+	"microrec/internal/pipeline"
+)
+
+// fullStats builds a Stats value with every optional section present and
+// every omitempty field non-zero, so the marshalled JSON exposes the complete
+// schema surface.
+func fullStats() Stats {
+	return Stats{
+		Mode:     "pipeline",
+		MaxBatch: 64, WindowUS: 200, Workers: 4,
+		Queries: 1000, Batches: 20, QPS: 5000,
+		LatencyUS: LatencySummary{Mean: 100, P50: 90, P95: 150, P99: 200, Max: 300},
+		MeanBatch: 50, BatchOccupancy: 0.78,
+		Admission: AdmissionStats{
+			QueueDepth: 3, QueueCapacity: 256, Shedding: true, SLAMS: 5,
+			Shed: 7, DeadlineDrops: 2, CancelDrops: 1, LateCompletions: 1,
+			KneeQPS: 9000, RetryAfterMS: 0.4,
+		},
+		Pipeline: &PipelineStats{
+			Depth: 3, MaxBatch: 64, InFlight: 2, Completed: 20,
+			Stages: []pipeline.StageSnapshot{
+				{Name: "gather", Batches: 20, MeanServiceUS: 40, P99ServiceUS: 60, Occupancy: 0.5},
+			},
+			MeasuredIntervalUS: 50, PredictedIntervalUS: 48, SerialIntervalUS: 120,
+		},
+		Cluster: &ClusterStats{
+			Shards: 2, RingDepth: 2, Batches: 20,
+			ColdLookupNS: 900, EffectiveLookupNS: 700,
+			MergeWaitUS: metrics.HistogramSnapshot{
+				Count: 20, Mean: 5, Min: 1, Max: 20, P50: 4, P95: 10, P99: 15, P999: 19,
+			},
+			ImbalanceRatio: 1.2,
+			PerShard: []cluster.ShardStats{
+				{ID: 0, Tables: 13, ColdLookupNS: 900, Batches: 20,
+					MeanServiceUS: 20, P99ServiceUS: 30, Occupancy: 0.4, CacheHitRate: 0.9},
+			},
+		},
+		HotCache: &HotCacheStats{
+			CapacityBytes: 1 << 20, UsedBytes: 1 << 19, Entries: 100, Hits: 900,
+			Misses: 100, HitRate: 0.9, EffectiveLookupNS: 700, ColdLookupNS: 900,
+		},
+		Tiers: &TierStats{
+			Path: "/tmp/cold.bin", ColdLatencyNS: 2000, HotBudgetBytes: 1 << 20,
+			TotalBytes: 1 << 22, HotRows: 100, ColdRows: 900, HotBytes: 1 << 19,
+			HotReads: 800, ColdReads: 200, HotReadRate: 0.8,
+			Promotions: 50, Demotions: 10, Sweeps: 5, Prefetches: 40, BoundNS: 1500,
+		},
+		Trace: TraceStats{RingSize: 4096, SampleEvery: 8, Arrivals: 1000, Recorded: 125},
+		LatencyHistUS: metrics.HistogramSnapshot{
+			Count: 1000, Mean: 100, Min: 50, Max: 300, P50: 90, P95: 150, P99: 200, P999: 280,
+		},
+		BuildInfo: obs.BuildInfo{
+			Revision: "abc123", Dirty: true, GoVersion: "go1.22", Kernels: "avx2-gemm",
+		},
+	}
+}
+
+// collectKeys walks marshalled JSON, returning every object key as a dotted
+// path; array elements share their parent's path (the schema is per-element).
+func collectKeys(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			collectKeys(p, child, out)
+		}
+	case []any:
+		for _, child := range x {
+			collectKeys(prefix, child, out)
+		}
+	}
+}
+
+// statsSchema is the pinned field-name surface of the /stats JSON document —
+// the serving tier's de-facto API. A failure here means a field was renamed,
+// removed, or added: deliberate changes update this list (and the consumers:
+// dashboards, the loadtest harness, benchdiff's environment gate); accidental
+// ones get caught before they ship.
+var statsSchema = []string{
+	"admission",
+	"admission.cancel_drops",
+	"admission.deadline_drops",
+	"admission.knee_qps",
+	"admission.late_completions",
+	"admission.queue_capacity",
+	"admission.queue_depth",
+	"admission.retry_after_ms",
+	"admission.shed",
+	"admission.shedding",
+	"admission.sla_ms",
+	"batch_occupancy",
+	"batches",
+	"build_info",
+	"build_info.dirty",
+	"build_info.go_version",
+	"build_info.kernels",
+	"build_info.revision",
+	"cluster",
+	"cluster.batches",
+	"cluster.cold_lookup_ns",
+	"cluster.effective_lookup_ns",
+	"cluster.imbalance_ratio",
+	"cluster.merge_wait_us",
+	"cluster.merge_wait_us.count",
+	"cluster.merge_wait_us.max",
+	"cluster.merge_wait_us.mean",
+	"cluster.merge_wait_us.min",
+	"cluster.merge_wait_us.p50",
+	"cluster.merge_wait_us.p95",
+	"cluster.merge_wait_us.p99",
+	"cluster.merge_wait_us.p999",
+	"cluster.per_shard",
+	"cluster.per_shard.batches",
+	"cluster.per_shard.cache_hit_rate",
+	"cluster.per_shard.cold_lookup_ns",
+	"cluster.per_shard.id",
+	"cluster.per_shard.mean_service_us",
+	"cluster.per_shard.occupancy",
+	"cluster.per_shard.p99_service_us",
+	"cluster.per_shard.tables",
+	"cluster.ring_depth",
+	"cluster.shards",
+	"hotcache",
+	"hotcache.capacity_bytes",
+	"hotcache.cold_lookup_ns",
+	"hotcache.effective_lookup_ns",
+	"hotcache.entries",
+	"hotcache.hit_rate",
+	"hotcache.hits",
+	"hotcache.misses",
+	"hotcache.used_bytes",
+	"latency_hist_us",
+	"latency_hist_us.count",
+	"latency_hist_us.max",
+	"latency_hist_us.mean",
+	"latency_hist_us.min",
+	"latency_hist_us.p50",
+	"latency_hist_us.p95",
+	"latency_hist_us.p99",
+	"latency_hist_us.p999",
+	"latency_us",
+	"latency_us.max",
+	"latency_us.mean",
+	"latency_us.p50",
+	"latency_us.p95",
+	"latency_us.p99",
+	"max_batch",
+	"mean_batch",
+	"mode",
+	"pipeline",
+	"pipeline.completed",
+	"pipeline.depth",
+	"pipeline.in_flight",
+	"pipeline.max_batch",
+	"pipeline.measured_interval_us",
+	"pipeline.predicted_interval_us",
+	"pipeline.serial_interval_us",
+	"pipeline.stages",
+	"pipeline.stages.batches",
+	"pipeline.stages.mean_service_us",
+	"pipeline.stages.name",
+	"pipeline.stages.occupancy",
+	"pipeline.stages.p99_service_us",
+	"qps",
+	"queries",
+	"tiers",
+	"tiers.bound_ns",
+	"tiers.cold_latency_ns",
+	"tiers.cold_reads",
+	"tiers.cold_rows",
+	"tiers.demotions",
+	"tiers.hot_budget_bytes",
+	"tiers.hot_bytes",
+	"tiers.hot_read_rate",
+	"tiers.hot_reads",
+	"tiers.hot_rows",
+	"tiers.path",
+	"tiers.prefetches",
+	"tiers.promotions",
+	"tiers.sweeps",
+	"tiers.total_bytes",
+	"trace",
+	"trace.arrivals",
+	"trace.recorded",
+	"trace.ring_size",
+	"trace.sample_every",
+	"window_us",
+	"workers",
+}
+
+// TestStatsJSONSchemaGolden pins the /stats JSON field names. The document is
+// consumed by dashboards, the bench/loadtest reports and scripts that have no
+// compile-time coupling to this package, so a field rename is a breaking API
+// change — this test turns it from a silent one into a loud one.
+func TestStatsJSONSchemaGolden(t *testing.T) {
+	raw, err := json.Marshal(fullStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	collectKeys("", doc, keys)
+	got := make([]string, 0, len(keys))
+	for k := range keys {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, statsSchema) {
+		want := map[string]bool{}
+		for _, k := range statsSchema {
+			want[k] = true
+		}
+		for _, k := range got {
+			if !want[k] {
+				t.Errorf("new /stats field %q: if intentional, add it to statsSchema", k)
+			}
+		}
+		for _, k := range statsSchema {
+			if !keys[k] {
+				t.Errorf("/stats field %q disappeared: renames break dashboards and scripts", k)
+			}
+		}
+		if !t.Failed() {
+			t.Errorf("schema drift:\n got %v\nwant %v", got, statsSchema)
+		}
+	}
+}
+
+// TestStatsLiveMatchesSchema cross-checks a real server's Stats against the
+// same pinned schema: every key a live (pipelined, untiered, unsharded)
+// snapshot emits must be in the golden list. This catches fields that exist
+// on the wire but were never added to fullStats.
+func TestStatsLiveMatchesSchema(t *testing.T) {
+	eng := testEngine(t)
+	s := newServer(t, eng, Options{MaxBatch: 8, Window: 100 * time.Microsecond})
+	submitTraced(t, s, 16)
+	raw, err := json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	collectKeys("", doc, keys)
+	want := map[string]bool{}
+	for _, k := range statsSchema {
+		want[k] = true
+	}
+	for k := range keys {
+		if !want[k] {
+			t.Errorf("live /stats emits %q, absent from the golden schema", k)
+		}
+	}
+}

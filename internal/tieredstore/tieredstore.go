@@ -152,14 +152,22 @@ type Stream struct {
 // hot, otherwise a slice of the mmap'd cold file. Both hold identical
 // float32 bits. Wait-free and allocation-free.
 func (st *Stream) Row(row int64) []float32 {
+	v, _ := st.RowTagged(row)
+	return v
+}
+
+// RowTagged is Row plus a cold flag, for callers that attribute cold-tier
+// faults to the batch that suffered them (the flight recorder's per-span
+// cold_faults count). Same wait-free, allocation-free path.
+func (st *Stream) RowTagged(row int64) ([]float32, bool) {
 	if m := st.hot.Load(); m != nil {
 		if v, ok := m.rows[row]; ok {
 			st.hotReads.Add(1)
-			return v
+			return v, false
 		}
 	}
 	st.coldReads.Add(1)
-	return st.cold[row*st.dim : (row+1)*st.dim]
+	return st.cold[row*st.dim : (row+1)*st.dim], true
 }
 
 // IsHot reports whether the row is currently pinned (placement may change at

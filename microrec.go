@@ -47,6 +47,7 @@ package microrec
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"microrec/internal/core"
@@ -58,6 +59,7 @@ import (
 	"microrec/internal/memsim"
 	"microrec/internal/metrics"
 	"microrec/internal/model"
+	"microrec/internal/obs"
 	"microrec/internal/placement"
 	"microrec/internal/serving"
 	"microrec/internal/tieredstore"
@@ -135,6 +137,21 @@ type (
 	// AdmissionStats is the /stats view of the admission gate: queue
 	// pressure, shed/drop counters and the knee (capacity) estimate.
 	AdmissionStats = serving.AdmissionStats
+	// BuildInfo records the binary's provenance — git revision and
+	// cleanliness, Go toolchain, kernel dispatch — as carried in the
+	// build_info section of /stats, /metrics and the BENCH JSONs.
+	BuildInfo = obs.BuildInfo
+	// TraceSpan is one request's flight-recorder record: per-stage
+	// nanosecond segments, batch context and the serving verdict
+	// (Server.Trace, GET /trace).
+	TraceSpan = obs.Span
+	// TraceStats is the flight recorder's /stats section: ring size,
+	// sampling rate, arrivals seen vs spans recorded.
+	TraceStats = obs.Stats
+	// TraceEvent is one Chrome trace-event format slice — the wire format
+	// shared by GET /trace (live spans) and `microrec trace` (pipesim
+	// simulation).
+	TraceEvent = obs.TraceEvent
 	// Arrivals is an open-loop arrival process (inter-arrival gaps) for
 	// the load harness.
 	Arrivals = loadgen.Arrivals
@@ -153,6 +170,10 @@ type (
 	// histogram (p50/p95/p99/p99.9 without storing samples).
 	LatencyHistogram = metrics.HistogramSnapshot
 )
+
+// DefaultTraceSample is the flight recorder's default head-sampling rate:
+// record one request span in every DefaultTraceSample arrivals.
+const DefaultTraceSample = serving.DefaultTraceSample
 
 // ErrServerClosed is returned by Server.Submit after Server.Close.
 var ErrServerClosed = serving.ErrServerClosed
@@ -207,6 +228,25 @@ func U280(onChipBanks int) MemorySystem { return memsim.U280(onChipBanks) }
 // at init ("portable" when none): the provenance string bench and loadtest
 // reports record so two perf documents can be compared like for like.
 func KernelFeatures() string { return kernels.Features() }
+
+// ReadBuildInfo reports this binary's provenance: the git revision it was
+// built from (when the module was built inside a checkout), whether the tree
+// was dirty, the Go toolchain, and the kernel dispatch string. It is the
+// build_info stamped into /stats, /metrics and the BENCH JSON documents so
+// every measurement names the code that produced it.
+func ReadBuildInfo() BuildInfo { return obs.ReadBuild(kernels.Features()) }
+
+// SpanTraceEvents renders flight-recorder spans (Server.Trace) as Chrome
+// trace-event slices: one track per datapath stage, one event group per
+// request, timestamps rebased to the earliest span.
+func SpanTraceEvents(spans []TraceSpan) []TraceEvent { return obs.SpanEvents(spans) }
+
+// WriteTraceEvents writes trace events as a chrome://tracing / Perfetto
+// compatible JSON array — the serializer behind both GET /trace and
+// `microrec trace`.
+func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
+	return obs.WriteTraceEvents(w, events)
+}
 
 // EngineOptions configures NewEngine.
 type EngineOptions struct {
