@@ -3,13 +3,19 @@ GO ?= go
 # the committed BENCH_*.json baselines.
 BENCH_SCRATCH ?= /tmp/microrec-bench
 
-.PHONY: build vet fmt-check test test-noasm race bench bench-json loadtest-json bench-smoke benchdiff obs-smoke ci
+.PHONY: build vet vet-custom fmt-check test test-noasm race bench bench-json loadtest-json bench-smoke benchdiff obs-smoke fuzz-smoke vulncheck ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet-custom runs microrec-vet, the repo's own go/analysis suite (lockheld,
+# hotalloc, atomicfield, statsnapshot): the mechanized concurrency and
+# zero-alloc invariants of the datapath. Exit 2 = findings.
+vet-custom:
+	$(GO) run ./cmd/microrec-vet ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt required on:"; echo "$$out"; exit 1; fi
@@ -77,6 +83,24 @@ benchdiff:
 	GOMAXPROCS=1 $(GO) run ./cmd/microrec bench -n 512 -o $(BENCH_SCRATCH)/BENCH_serve.json
 	$(GO) run ./cmd/microrec benchdiff -baseline BENCH_serve.json -candidate $(BENCH_SCRATCH)/BENCH_serve.json
 
+# fuzz-smoke gives each fuzz target a short budget (exactly the CI step):
+# enough to replay the corpus and catch shallow regressions in the histogram
+# quantile math and the obs trace/metrics writers without stalling the build.
+fuzz-smoke:
+	$(GO) test ./internal/metrics -fuzz FuzzHistogramQuantile -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/obs -fuzz FuzzSpanTraceEvents -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/obs -fuzz FuzzMetricWriter -fuzztime 10s -run '^$$'
+
+# vulncheck scans the module against the Go vulnerability database when
+# govulncheck is installed; skipped (with a note) where it isn't — the tool
+# needs network access, so offline dev boxes stay green.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # obs-smoke is the observability end-to-end check (exactly the CI step): a
 # live server with tracing + pprof on, real traffic, and validation of the
 # /metrics Prometheus exposition, the /trace trace-event JSON, and the pprof
@@ -86,4 +110,4 @@ obs-smoke:
 
 # ci mirrors the CI job sequence locally (lint job + test job, one leg), so a
 # red CI reproduces in one command.
-ci: build vet fmt-check test test-noasm race bench-smoke benchdiff obs-smoke
+ci: build vet vet-custom fmt-check test test-noasm race bench-smoke benchdiff obs-smoke fuzz-smoke vulncheck

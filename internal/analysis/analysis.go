@@ -1,0 +1,129 @@
+// Package analysis is a self-contained, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis driver stack, sized for this repo's custom
+// vet suite (cmd/microrec-vet). The real x/tools module is not vendored here
+// — the module has zero third-party dependencies and keeps it that way — so
+// this package provides the three pieces the suite needs with the same shape
+// the upstream API has:
+//
+//   - Analyzer/Pass/Diagnostic (analysis.Analyzer et al.): an analyzer is a
+//     named check over one type-checked package that reports findings at
+//     token positions.
+//   - A loader + driver (go/packages + multichecker): packages are
+//     enumerated and their dependency export data compiled by
+//     `go list -export -json -deps`, module packages are type-checked from
+//     source in dependency order against that export data, and every
+//     analyzer runs over every package in one process. Because all module
+//     packages share one FileSet and one type-checker universe,
+//     types.Object identities are global — cross-package facts are a plain
+//     shared map, no fact serialization needed.
+//   - A `// want` fixture harness (analysistest): testdata packages carry
+//     expectations as comments on the flagged lines, and the harness
+//     diff's them against the diagnostics the analyzers produce.
+//
+// Whole-program checks (a field must be atomic everywhere, a helper's lock
+// footprint matters to its callers) run in two phases: every analyzer's Run
+// visits every package first (collect), then RunPost revisits them (report)
+// with the complete fact set in hand.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run is invoked once per package in
+// dependency order; RunPost, when non-nil, is invoked once per package after
+// every package's Run has completed, so it sees whole-program facts.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //microrec:allow suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the per-package (or fact-collection) pass.
+	Run func(*Pass) error
+	// RunPost optionally performs a second, whole-program-aware pass.
+	RunPost func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to one analyzer, plus the
+// program-wide fact store shared by all packages in the run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	run *run
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer *Analyzer
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.run.diagnostics = append(p.run.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or Invalid when the checker
+// recorded none — never nil, so callers can chase Underlying unconditionally.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil && obj.Type() != nil {
+			return obj.Type()
+		}
+	}
+	return types.Typ[types.Invalid]
+}
+
+// SetObjectFact attaches a fact to obj for this analyzer, visible to every
+// later Run and every RunPost in the same driver run. Object identity is
+// global across packages (one type-checker universe), so a fact set while
+// analyzing the defining package is found when analyzing its importers.
+func (p *Pass) SetObjectFact(obj types.Object, fact any) {
+	p.run.facts[factKey{p.Analyzer, obj}] = fact
+}
+
+// ObjectFact retrieves the fact attached to obj by this analyzer, if any.
+func (p *Pass) ObjectFact(obj types.Object) (any, bool) {
+	v, ok := p.run.facts[factKey{p.Analyzer, obj}]
+	return v, ok
+}
+
+// Shared returns a scratch map private to this analyzer but shared across
+// every package of the run — the place for analyzer-global state like a
+// transitive-closure cache computed once at the start of the RunPost sweep.
+func (p *Pass) Shared() map[string]any {
+	m, ok := p.run.shared[p.Analyzer]
+	if !ok {
+		m = make(map[string]any)
+		p.run.shared[p.Analyzer] = m
+	}
+	return m
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+}
+
+// run is the mutable state of one driver invocation.
+type run struct {
+	facts       map[factKey]any
+	shared      map[*Analyzer]map[string]any
+	diagnostics []Diagnostic
+}

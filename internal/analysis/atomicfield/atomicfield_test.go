@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"microrec/internal/analysis"
+	"microrec/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysis.RunWant(t, []*analysis.Analyzer{atomicfield.Analyzer}, "testdata/src/a")
+}

@@ -1,0 +1,66 @@
+// Package a is the atomicfield fixture: a field accessed through sync/atomic
+// in one function must never be touched plainly in another — the torn-stats
+// bug class — and typed atomics must never be copied.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64 // atomic everywhere
+	plain int64 // never atomic: plain access is fine
+	typed atomic.Int64
+	ptr   atomic.Pointer[counter]
+}
+
+// incr is the sanctioning site: &c.n reaching atomic.AddInt64 marks n as an
+// atomic field program-wide.
+func incr(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// loadBad reads n without the atomic package: a racy read the race detector
+// only catches when the interleaving cooperates.
+func loadBad(c *counter) int64 {
+	return c.n // want "field n is accessed with sync/atomic elsewhere"
+}
+
+// storeBad writes n plainly.
+func storeBad(c *counter) {
+	c.n = 0 // want "field n is accessed with sync/atomic elsewhere"
+}
+
+// atomicGood uses the atomic package everywhere: both the sanctioned sites
+// and a second atomic reader are fine.
+func atomicGood(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// initGood: composite-literal keys are pre-publication initialization, not
+// shared access.
+func initGood() *counter {
+	return &counter{n: 0, plain: 1}
+}
+
+// plainGood: a field never touched atomically may be accessed plainly.
+func plainGood(c *counter) int64 {
+	c.plain++
+	return c.plain
+}
+
+// typedGood: typed atomics used through their methods, or by address.
+func typedGood(c *counter) int64 {
+	c.typed.Add(1)
+	p := &c.typed
+	_ = p
+	if old := c.ptr.Load(); old != nil {
+		return old.typed.Load()
+	}
+	return c.typed.Load()
+}
+
+// typedCopyBad copies a typed atomic out of its struct: the copy is a
+// detached snapshot that silently stops being atomic with the original.
+func typedCopyBad(c *counter) int64 {
+	cp := c.typed // want "typed atomic field typed copied or accessed non-atomically"
+	return cp.Load()
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"microrec/internal/analysis"
+	"microrec/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysis.RunWant(t, []*analysis.Analyzer{hotalloc.Analyzer}, "testdata/src/a")
+}

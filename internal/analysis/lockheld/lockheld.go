@@ -1,0 +1,351 @@
+// Package lockheld reports sync.Mutex/RWMutex locks held across blocking
+// operations — a channel send or receive, a default-less select, or a call
+// into the network stack. Holding a lock across any of these couples every
+// other lock holder to an unbounded wait: exactly the PR 4 bug, where
+// pipeline Submit held the executor's RLock while receiving a plane from the
+// free ring, so a full ring stalled Close (and with it every Stats reader)
+// behind in-flight batches.
+//
+// The analyzer is deliberately conservative in the direction of silence:
+// lock identities are tracked only for plain selector paths (s.mu — not
+// s.shards[i].mu), branch-local acquisitions are not propagated past the
+// branch, and an unlock on any branch of a conditional counts as an unlock.
+// False negatives are possible; a report is always worth reading. The rare
+// deliberate violation is suppressed with //microrec:allow lockheld on the
+// reported line.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"microrec/internal/analysis"
+)
+
+// Analyzer is the lockheld analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "reports mutexes held across blocking channel operations or network calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range analysis.FuncsOf(pass.Files) {
+		if fd.Body == nil {
+			continue
+		}
+		checkBody(pass, fd.Body)
+	}
+	// Function literals run on their own schedule (goroutines, callbacks),
+	// so each body is analyzed independently with an empty lock set.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkBody(pass, fl.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// held tracks the lock paths currently believed held, keyed by ExprPath.
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkStmts(pass, body.List, make(held))
+}
+
+// walkStmts scans a statement list in order, maintaining the held-lock set.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, h held) {
+	for _, s := range stmts {
+		walkStmt(pass, s, h)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, h held) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if path, op, ok := lockOp(pass, call); ok {
+				switch op {
+				case opLock:
+					h[path] = call.Pos()
+				case opUnlock:
+					delete(h, path)
+				}
+				return
+			}
+		}
+		checkExpr(pass, st.X, h)
+
+	case *ast.SendStmt:
+		report(pass, st.Arrow, h, "blocking channel send")
+		checkExpr(pass, st.Chan, h)
+		checkExpr(pass, st.Value, h)
+
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			checkExpr(pass, e, h)
+		}
+		for _, e := range st.Lhs {
+			checkExpr(pass, e, h)
+		}
+
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool { return inspectExpr(pass, n, h) })
+
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			checkExpr(pass, e, h)
+		}
+
+	case *ast.IncDecStmt:
+		checkExpr(pass, st.X, h)
+
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end — exactly
+		// the shape that turns a blocking send into the PR 4 bug — so it
+		// must NOT clear the held set. Deferred call arguments, however,
+		// are evaluated now.
+		if _, op, ok := lockOp(pass, st.Call); ok && op == opUnlock {
+			return
+		}
+		for _, a := range st.Call.Args {
+			checkExpr(pass, a, h)
+		}
+
+	case *ast.GoStmt:
+		// The spawned body runs elsewhere; only the arguments are
+		// evaluated under the current locks.
+		for _, a := range st.Call.Args {
+			checkExpr(pass, a, h)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			walkStmt(pass, st.Init, h)
+		}
+		thenHeld := h.clone()
+		// `if mu.TryLock() { ... }` holds mu inside the then-branch only.
+		if call, ok := st.Cond.(*ast.CallExpr); ok {
+			if path, op, ok := lockOp(pass, call); ok && op == opTryLock {
+				thenHeld[path] = call.Pos()
+			}
+		}
+		checkExpr(pass, st.Cond, h)
+		branches := []held{thenHeld}
+		walkStmts(pass, st.Body.List, thenHeld)
+		if st.Else != nil {
+			elseHeld := h.clone()
+			branches = append(branches, elseHeld)
+			walkStmt(pass, st.Else, elseHeld)
+		}
+		releaseBranchUnlocks(h, branches)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			walkStmt(pass, st.Init, h)
+		}
+		if st.Cond != nil {
+			checkExpr(pass, st.Cond, h)
+		}
+		body := h.clone()
+		walkStmts(pass, st.Body.List, body)
+		releaseBranchUnlocks(h, []held{body})
+
+	case *ast.RangeStmt:
+		if isChanType(pass, st.X) {
+			report(pass, st.For, h, "range over channel")
+		}
+		checkExpr(pass, st.X, h)
+		body := h.clone()
+		walkStmts(pass, st.Body.List, body)
+		releaseBranchUnlocks(h, []held{body})
+
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false
+			}
+		}
+		if blocking {
+			report(pass, st.Select, h, "blocking select")
+		}
+		var branches []held
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			b := h.clone()
+			branches = append(branches, b)
+			walkStmts(pass, cc.Body, b)
+		}
+		releaseBranchUnlocks(h, branches)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			walkStmt(pass, st.Init, h)
+		}
+		if st.Tag != nil {
+			checkExpr(pass, st.Tag, h)
+		}
+		walkCaseBodies(pass, st.Body, h)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			walkStmt(pass, st.Init, h)
+		}
+		walkCaseBodies(pass, st.Body, h)
+
+	case *ast.BlockStmt:
+		walkStmts(pass, st.List, h)
+
+	case *ast.LabeledStmt:
+		walkStmt(pass, st.Stmt, h)
+	}
+}
+
+func walkCaseBodies(pass *analysis.Pass, body *ast.BlockStmt, h held) {
+	var branches []held
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b := h.clone()
+		branches = append(branches, b)
+		walkStmts(pass, cc.Body, b)
+	}
+	releaseBranchUnlocks(h, branches)
+}
+
+// releaseBranchUnlocks removes from h any lock that at least one branch
+// released: the optimistic merge that keeps conditional-unlock patterns
+// (early-return error paths) from producing false positives downstream.
+func releaseBranchUnlocks(h held, branches []held) {
+	for path := range h {
+		for _, b := range branches {
+			if _, still := b[path]; !still {
+				delete(h, path)
+				break
+			}
+		}
+	}
+}
+
+// checkExpr inspects an expression tree (skipping function literals) for
+// blocking operations performed while locks are held.
+func checkExpr(pass *analysis.Pass, e ast.Expr, h held) {
+	ast.Inspect(e, func(n ast.Node) bool { return inspectExpr(pass, n, h) })
+}
+
+func inspectExpr(pass *analysis.Pass, n ast.Node, h held) bool {
+	switch x := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			report(pass, x.OpPos, h, "blocking channel receive")
+		}
+	case *ast.CallExpr:
+		if name, ok := blockingCall(pass, x); ok {
+			report(pass, x.Pos(), h, "call to "+name+" (may block)")
+		}
+	}
+	return true
+}
+
+func report(pass *analysis.Pass, pos token.Pos, h held, what string) {
+	for path := range h {
+		pass.Reportf(pos, "%s held across %s", path, what)
+	}
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opTryLock
+)
+
+// lockOp classifies a call as a mutex acquisition/release on a trackable
+// path. Indexed or computed receivers return ok=false and are not tracked.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (path string, op lockOpKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	case "TryLock", "TryRLock":
+		op = opTryLock
+	default:
+		return "", 0, false
+	}
+	recv := ast.Unparen(sel.X)
+	t, okT := pass.Info.Types[recv]
+	if !okT {
+		return "", 0, false
+	}
+	if isMu, _ := analysis.IsMutex(t.Type); !isMu {
+		// Embedded mutex: s.Lock() where s's type embeds sync.Mutex still
+		// resolves the method to sync; track the embedding value's path.
+		selInfo, okS := pass.Info.Selections[sel]
+		if !okS || selInfo.Obj().Pkg() == nil || selInfo.Obj().Pkg().Path() != "sync" {
+			return "", 0, false
+		}
+	}
+	p, okP := analysis.ExprPath(recv)
+	if !okP {
+		return "", 0, false
+	}
+	return p, op, true
+}
+
+// blockingCall reports whether the call may block indefinitely: WaitGroup
+// and Cond waits, time.Sleep, and anything in the net / net/http packages.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	f := analysis.CalleeFunc(pass.Info, call)
+	if f == nil {
+		return "", false
+	}
+	switch analysis.FuncPkgPath(f) {
+	case "net", "net/http":
+		return f.FullName(), true
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if f.Name() == "Wait" {
+			return f.FullName(), true
+		}
+	}
+	return "", false
+}
+
+// isChanType reports whether e's type is a channel.
+func isChanType(pass *analysis.Pass, e ast.Expr) bool {
+	t, ok := pass.Info.Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	_, isChan := t.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"microrec/internal/analysis"
+	"microrec/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysis.RunWant(t, []*analysis.Analyzer{lockheld.Analyzer}, "testdata/src/a")
+}

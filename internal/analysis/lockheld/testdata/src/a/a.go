@@ -1,0 +1,160 @@
+// Package a is the lockheld fixture: flagged and accepted variants of every
+// shape the analyzer covers. The flagged shapes are real bug classes — the
+// first pair below is the exact PR 4 pipeline.Submit bug.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type ring struct {
+	mu        sync.RWMutex
+	closed    bool
+	accepting sync.WaitGroup
+	free      chan *int
+	out       chan *int
+	done      chan struct{}
+}
+
+// submitBad is the PR 4 bug shape: the read lock (kept by the deferred
+// RUnlock) is held across both the blocking ring receive and the queue send.
+func (r *ring) submitBad(v *int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return false
+	}
+	p := <-r.free // want "r\\.mu held across blocking channel receive"
+	_ = p
+	r.out <- v // want "r\\.mu held across blocking channel send"
+	return true
+}
+
+// submitGood is the accept-gate fix: the lock covers only the closed check
+// and the accounting; every blocking operation happens after RUnlock.
+func (r *ring) submitGood(v *int) bool {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return false
+	}
+	r.accepting.Add(1)
+	r.mu.RUnlock()
+	defer r.accepting.Done()
+	p := <-r.free
+	_ = p
+	r.out <- v
+	return true
+}
+
+// selectBad blocks in a default-less select with the write lock held.
+func (r *ring) selectBad() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want "r\\.mu held across blocking select"
+	case <-r.done:
+	case v := <-r.free:
+		_ = v
+	}
+}
+
+// selectGood has a default clause: the select cannot block, and neither can
+// anything in its arms here.
+func (r *ring) selectGood() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-r.done:
+	default:
+	}
+}
+
+// rangeBad drains a channel while holding the lock.
+func (r *ring) rangeBad() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for v := range r.free { // want "r\\.mu held across range over channel"
+		_ = v
+	}
+}
+
+// waitBad parks on a WaitGroup with the lock held.
+func (r *ring) waitBad() {
+	r.mu.Lock()
+	r.accepting.Wait() // want "held across call to \\(\\*sync\\.WaitGroup\\)\\.Wait"
+	r.mu.Unlock()
+}
+
+// sleepBad holds the lock across a sleep (a bounded stall, but every other
+// lock user pays it).
+func (r *ring) sleepBad() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want "held across call to time\\.Sleep"
+	r.mu.Unlock()
+}
+
+// netBad performs a network call under the lock.
+func (r *ring) netBad() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, err := net.Dial("tcp", "localhost:1") // want "held across call to net\\.Dial"
+	if err == nil {
+		c.Close() // want "held across call to \\(net\\.Conn\\)\\.Close"
+	}
+}
+
+// branchUnlockGood releases on the early-return branch; the send below runs
+// unlocked on both paths.
+func (r *ring) branchUnlockGood(v *int) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.out <- v
+}
+
+// tryLockBad holds a try-acquired lock across a blocking send inside the
+// success branch.
+func (r *ring) tryLockBad(v *int) {
+	if r.mu.TryLock() {
+		defer r.mu.Unlock()
+		r.out <- v // want "r\\.mu held across blocking channel send"
+	}
+}
+
+// goroutineGood: the literal's body runs on its own goroutine with its own
+// (empty) lock context; the spawn itself does not block.
+func (r *ring) goroutineGood(v *int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.out <- v
+	}()
+}
+
+// unlockedSendGood is the baseline: blocking operations with no lock held.
+func (r *ring) unlockedSendGood(v *int) {
+	p := <-r.free
+	_ = p
+	r.out <- v
+}
+
+// shardedGood locks an indexed mutex the analyzer does not track: per-shard
+// lock identity cannot be named statically, so no report (documented false
+// negative, never a false positive).
+type sharded struct {
+	shards [4]struct {
+		mu sync.Mutex
+	}
+	out chan int
+}
+
+func (s *sharded) shardedGood(i int) {
+	s.shards[i].mu.Lock()
+	s.out <- i
+	s.shards[i].mu.Unlock()
+}

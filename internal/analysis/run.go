@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run executes every analyzer over every package of prog and returns the
+// surviving diagnostics in file/line order. Phase one walks packages in
+// dependency order calling Run (local checks and fact collection); phase two
+// revisits them calling RunPost where defined, with the complete fact set
+// available. Findings on a line carrying a `//microrec:allow <name>` comment
+// for the reporting analyzer are suppressed — the escape hatch for the rare
+// deliberate violation, kept grep'able.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	r := &run{
+		facts:  make(map[factKey]any),
+		shared: make(map[*Analyzer]map[string]any),
+	}
+	for phase := 0; phase < 2; phase++ {
+		for _, pkg := range prog.Packages {
+			for _, a := range analyzers {
+				fn := a.Run
+				if phase == 1 {
+					fn = a.RunPost
+				}
+				if fn == nil {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     prog.Fset,
+					Files:    pkg.Syntax,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					run:      r,
+				}
+				if err := fn(pass); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	allowed := allowLines(prog)
+	var kept []Diagnostic
+	for _, d := range r.diagnostics {
+		pos := prog.Fset.Position(d.Pos)
+		if names, ok := allowed[lineKey{pos.Filename, pos.Line}]; ok && names[d.Analyzer.Name] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(kept[i].Pos), prog.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowLines indexes every `//microrec:allow name[,name...]` comment by the
+// file/line it sits on.
+func allowLines(prog *Program) map[lineKey]map[string]bool {
+	out := make(map[lineKey]map[string]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//microrec:allow")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					if out[k] == nil {
+						out[k] = make(map[string]bool)
+					}
+					for _, name := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						out[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Position is a convenience wrapper for formatting a diagnostic's location.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

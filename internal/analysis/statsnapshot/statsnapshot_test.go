@@ -1,0 +1,12 @@
+package statsnapshot_test
+
+import (
+	"testing"
+
+	"microrec/internal/analysis"
+	"microrec/internal/analysis/statsnapshot"
+)
+
+func TestStatsnapshot(t *testing.T) {
+	analysis.RunWant(t, []*analysis.Analyzer{statsnapshot.Analyzer}, "testdata/src/a")
+}

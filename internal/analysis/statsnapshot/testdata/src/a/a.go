@@ -1,0 +1,122 @@
+// Package a is the statsnapshot fixture: snapshot methods must assemble
+// their result under a single acquisition of any given mutex. The flagged
+// variant below is the tieredstore Store.Snapshot bug this analyzer first
+// caught on the real tree: a helper that locks internally, called next to a
+// direct acquisition of the same mutex.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	bound float64
+	rows  int64
+}
+
+// Bound locks internally — fine on its own.
+func (s *store) Bound() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bound
+}
+
+// boundLocked is the single-acquisition building block.
+func (s *store) boundLocked() float64 { return s.bound }
+
+// BadSnapshot pairs a value read under the helper's acquisition with values
+// read under its own: a writer slipping between the two produces a bound and
+// a row count no real instant ever exhibited.
+func (s *store) BadSnapshot() (float64, int64) {
+	b := s.Bound()
+	s.mu.Lock() // want "BadSnapshot acquires s\\.mu more than once"
+	r := s.rows
+	s.mu.Unlock()
+	return b, r
+}
+
+// GoodSnapshot reads everything under one acquisition, using the locked
+// helper.
+func (s *store) GoodSnapshot() (float64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.boundLocked(), s.rows
+}
+
+// relock is a nested helper chain: Stats -> relock -> Bound, two levels of
+// calls away from the direct acquisition.
+func (s *store) relock() float64 { return s.Bound() }
+
+// NestedStats mixes a direct acquisition with one reached transitively.
+func (s *store) NestedStats() (float64, int64) {
+	s.mu.Lock()
+	r := s.rows
+	s.mu.Unlock()
+	b := s.relock() // want "NestedStats acquires s\\.mu more than once"
+	return b, r
+}
+
+// server has two independent mutexes and a try-lock single-flight.
+type server struct {
+	mu     sync.Mutex
+	predMu sync.Mutex
+	qps    float64
+	pred   float64
+	hist   store
+}
+
+// predicted uses a try-lock single-flight (the serving tier's predictor
+// refresh): opting out of blocking opts out of the acquisition count too.
+func (s *server) predicted() float64 {
+	if s.predMu.TryLock() {
+		defer s.predMu.Unlock()
+		s.pred++
+	}
+	return s.pred
+}
+
+// GoodStats touches each mutex at most once: its own under one acquisition,
+// a sub-object's through one call, and the try-lock path not at all.
+func (s *server) GoodStats() (float64, float64, float64) {
+	s.mu.Lock()
+	q := s.qps
+	s.mu.Unlock()
+	return q, s.predicted(), s.hist.Bound()
+}
+
+// TwoMutexStats acquires two DIFFERENT mutexes — not a violation.
+func (s *server) TwoMutexStats() (float64, float64) {
+	s.mu.Lock()
+	q := s.qps
+	s.mu.Unlock()
+	s.predMu.Lock()
+	p := s.pred
+	s.predMu.Unlock()
+	return q, p
+}
+
+// SubStats calls the same sub-object helper twice: two acquisitions of
+// s.hist.mu, flagged through the call-path rebasing.
+func (s *server) SubStats() float64 {
+	a := s.hist.Bound()
+	b := s.hist.Bound() // want "SubStats acquires s\\.hist\\.mu more than once"
+	return a + b
+}
+
+// sharded aggregates under per-shard indexed locks, which have no static
+// identity: not tracked, not flagged.
+type sharded struct {
+	shards [4]struct {
+		mu sync.Mutex
+		n  int64
+	}
+}
+
+func (s *sharded) Stats() int64 {
+	var total int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		total += s.shards[i].n
+		s.shards[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IsMutex reports whether t (or the type it points to) is sync.Mutex or
+// sync.RWMutex, and whether it is the RW flavor.
+func IsMutex(t types.Type) (isMutex, isRW bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// ExprPath renders a selector chain rooted at an identifier as a stable
+// string ("s.shards.mu"). It returns ok=false for anything else — indexed
+// paths, call results, parenthesized trees — because those do not name one
+// lock identity an analyzer can safely track.
+func ExprPath(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := ExprPath(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	}
+	return "", false
+}
+
+// PathRoot returns the leading identifier of a rendered ExprPath.
+func PathRoot(path string) string {
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// FuncsOf yields every function with a body in the package: declarations
+// first, in file order. Function literals are not included — analyzers that
+// care about them walk bodies themselves.
+func FuncsOf(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// RecvIdent returns the name of fd's receiver identifier, or "" when fd is
+// not a method or the receiver is anonymous.
+func RecvIdent(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// HasDirective reports whether the declaration's doc comment block contains
+// the given //microrec:* directive line (exact match after trimming).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes, when
+// it statically invokes one (method calls and direct function calls; not
+// calls through function-typed variables or interfaces when the concrete
+// method is unknown — for those it returns the interface method).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: sync.OnceFunc, atomic.AddInt64, ...
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncPkgPath returns the import path of the package a function belongs to,
+// or "" for builtins.
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}

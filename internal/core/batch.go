@@ -157,6 +157,8 @@ func (e *Engine) inferBatchValidated(queries []embedding.Query, dst []float32, s
 // and the plane must be sized (EnsurePlane or a prior stage run) for at least
 // len(queries); the call then performs no validation and no allocation beyond
 // the sharded gather's goroutine fan-out.
+//
+//microrec:noalloc
 func (e *Engine) GatherIntoPlane(queries []embedding.Query, s *BatchScratch) {
 	e.gatherBatchValidated(queries, s)
 }
@@ -165,6 +167,8 @@ func (e *Engine) GatherIntoPlane(queries []embedding.Query, s *BatchScratch) {
 // blocked GEMMs over a gathered plane, ping-ponging the plane's x and y
 // buffers (bias add + ReLU per hidden layer). It touches only the plane, so
 // distinct planes can occupy the gather and GEMM stages concurrently.
+//
+//microrec:noalloc
 func (e *Engine) DenseFromPlane(b int, s *BatchScratch) {
 	f := e.cfg.Precision
 	width := e.width
@@ -188,6 +192,8 @@ func (e *Engine) DenseFromPlane(b int, s *BatchScratch) {
 // ReLU) plus the sigmoid, dequantizing one prediction per query into dst.
 // The hidden tower left its activations in x or y depending on layer parity;
 // the same swap cadence recovers the right buffer.
+//
+//microrec:noalloc
 func (e *Engine) TailFromPlane(b int, s *BatchScratch, dst []float32) {
 	f := e.cfg.Precision
 	width := e.width

@@ -341,6 +341,8 @@ func (e *Engine) gatherShard(wg *sync.WaitGroup, tables []int, queries []embeddi
 // Distinct tables write disjoint feature columns, so shards never overlap.
 // cache is a parameter (not always e.cache) because the cluster tier's
 // partial gathers account against per-shard caches.
+//
+//microrec:noalloc
 func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
 	f := e.cfg.Precision
 	w := e.width
@@ -424,6 +426,8 @@ func (e *Engine) gatherTables(tables []int, queries []embedding.Query, s *BatchS
 
 // matRow resolves one query's materialised-product row index for lookup
 // round r: the mixed-radix combination of the per-source logical indices.
+//
+//microrec:noalloc
 func (gt *gatherTable) matRow(q embedding.Query, r int) int64 {
 	var row int64
 	for si := range gt.srcs {
@@ -436,6 +440,8 @@ func (gt *gatherTable) matRow(q embedding.Query, r int) int64 {
 // prefetchMatRow hints the storage of one materialised row toward the cache
 // ahead of its gather: the DRAM copy directly, or the tiered store's backing
 // copy for a tiered engine (which skips rows already pinned hot).
+//
+//microrec:noalloc
 func (gt *gatherTable) prefetchMatRow(row int64) {
 	if gt.tier != nil {
 		gt.tier.PrefetchRow(row)
@@ -445,6 +451,8 @@ func (gt *gatherTable) prefetchMatRow(row int64) {
 }
 
 // prefetchRow is prefetchMatRow for a virtual (single-source) stream.
+//
+//microrec:noalloc
 func (src *gatherSource) prefetchRow(row, dim int64) {
 	if src.tier != nil {
 		src.tier.PrefetchRow(row)

@@ -67,6 +67,8 @@ func (e *Engine) PartialSpans(tables []int) ([]ColSpan, error) {
 // len(queries); the call performs no validation, no allocation, and does not
 // touch columns outside the listed tables' spans — in particular the dense
 // tail, which the coordinator owns (ZeroDenseTail).
+//
+//microrec:noalloc
 func (e *Engine) GatherPartialIntoPlane(tables []int, queries []embedding.Query, s *BatchScratch, cache *hotcache.Live) {
 	s.coldFaults.Store(0)
 	e.gatherTables(tables, queries, s, cache)
@@ -77,6 +79,8 @@ func (e *Engine) GatherPartialIntoPlane(tables []int, queries []embedding.Query,
 // the one feature region no table gather overwrites. The monolithic gather
 // does this implicitly; a scatter/gather coordinator calls it once on its
 // merged plane.
+//
+//microrec:noalloc
 func (e *Engine) ZeroDenseTail(b int, s *BatchScratch) {
 	w := e.width
 	for qi := 0; qi < b; qi++ {

@@ -59,6 +59,8 @@ func gemmDot4x8(x, w *int64, stride, n int, y *int64)
 // in%8 element remainder and the out%4 row remainder — run the reference
 // scalar loops; int64 addition commutes exactly, so the split cannot change
 // a single bit of the result.
+//
+//microrec:noalloc
 func gemmAVX2(X, Y []int64, b, in, out, stride int, WT []int64) {
 	n8 := in &^ 7
 	for j0 := 0; j0 < out; j0 += gemmColBlock {

@@ -88,6 +88,8 @@ const gemmColBlock = 16
 // order, identical to the per-query GEMV. The loop nest is column-blocked so
 // each cache-resident group of weight rows is reused by all b queries, and
 // register-blocked to amortize weight loads.
+//
+//microrec:noalloc
 func GemmRef(X, Y []int64, b, in, out, stride int, WT []int64) {
 	for j0 := 0; j0 < out; j0 += gemmColBlock {
 		j1 := j0 + gemmColBlock
@@ -157,6 +159,8 @@ func GemmRef(X, Y []int64, b, in, out, stride int, WT []int64) {
 
 // QuantizeRowRef is the portable reference row-quantize: one Format.Quantize
 // call per element, exactly the loop the gather path has always run.
+//
+//microrec:noalloc
 func QuantizeRowRef(f fixedpoint.Format, src []float32, dst []int64) {
 	for i, x := range src {
 		dst[i] = f.Quantize(float64(x))

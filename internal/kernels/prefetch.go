@@ -22,6 +22,8 @@ var prefetchLine = func(p unsafe.Pointer) {}
 // No-op on a nil/empty row, under the noasm tag, and on architectures
 // without a wired hint. Never faults: prefetch instructions are hints, so
 // issuing one for a not-yet-resident mmap page is safe.
+//
+//microrec:noalloc
 func PrefetchNT(row []float32) {
 	if len(row) == 0 {
 		return

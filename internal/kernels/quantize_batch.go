@@ -33,6 +33,8 @@ const rtBias = 1<<52 + 1<<51
 // The loop is branch-light and inlines the whole format state into
 // registers; on amd64 it compiles to a multiply, two adds and two compares
 // per element.
+//
+//microrec:noalloc
 func quantizeRowBatch(f fixedpoint.Format, src []float32, dst []int64) {
 	scale := f.Scale()
 	maxRaw := int64(1)<<uint(f.Bits-1) - 1

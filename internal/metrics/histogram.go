@@ -36,12 +36,12 @@ type Histogram struct {
 // error over the value range [1, maxValue] (same unit as the observations).
 // eps outside (0, 0.5) defaults to 1%; maxValue below gamma is raised to it.
 func NewHistogram(eps, maxValue float64) *Histogram {
-	if eps <= 0 || eps >= 0.5 {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 0.5 {
 		eps = 0.01
 	}
 	gamma := (1 + eps) / (1 - eps)
 	logGamma := math.Log(gamma)
-	if maxValue < gamma {
+	if math.IsNaN(maxValue) || math.IsInf(maxValue, 0) || maxValue < gamma {
 		maxValue = gamma
 	}
 	buckets := int(math.Ceil(math.Log(maxValue)/logGamma)) + 1
@@ -94,8 +94,13 @@ func (h *Histogram) bucketRange(i int) (lo, hi float64) {
 	return lo, hi
 }
 
-// Observe records one value. Negative values count as zero.
+// Observe records one value. Negative values count as zero; NaN and ±Inf
+// are dropped — a latency can be neither, and the bucket-index conversion
+// int(Log(v)/logGamma) turns both into an enormous negative index.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}

@@ -110,6 +110,8 @@ const spanWords = 16
 
 // encode packs the span into the slot word layout. ID is not stored — the
 // claim sequence that selected the slot is the ID, and decode restores it.
+//
+//microrec:noalloc
 func (s *Span) encode(w *[spanWords]int64) {
 	w[0] = s.Start
 	w[1] = s.EndToEndNS
@@ -200,6 +202,8 @@ func (r *Recorder) RingSize() int { return len(r.slots) }
 // Sample is the head-sampling decision, taken once per request at admission.
 // The unsampled path is one atomic increment plus a modulo — the "few
 // nanoseconds" the hot path pays per request.
+//
+//microrec:noalloc
 func (r *Recorder) Sample() bool {
 	n := r.arrivals.Add(1)
 	return r.sample == 1 || n%r.sample == 0
@@ -208,6 +212,8 @@ func (r *Recorder) Sample() bool {
 // Record writes one span into the ring, claiming the next slot. Safe for
 // concurrent writers; never blocks a reader. The span's ID field is assigned
 // from the claim sequence (any caller-set value is overwritten).
+//
+//microrec:noalloc
 func (r *Recorder) Record(s Span) uint64 {
 	id := r.claimed.Add(1)
 	sl := &r.slots[(id-1)&r.mask]

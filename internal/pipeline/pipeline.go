@@ -189,8 +189,9 @@ type Executor struct {
 	eng  StageEngine
 	opts Options
 
-	mu     sync.RWMutex // guards closed vs in-flight Submits
-	closed bool
+	mu        sync.RWMutex // guards closed; never held across blocking ops
+	closed    bool
+	accepting sync.WaitGroup // in-flight Submits past the closed check
 
 	free    chan *plane
 	gatherQ chan *plane
@@ -273,14 +274,25 @@ func (x *Executor) Submit(queries []embedding.Query, payload interface{}) error 
 	if len(queries) > x.opts.MaxBatch {
 		return fmt.Errorf("pipeline: batch %d exceeds plane capacity %d", len(queries), x.opts.MaxBatch)
 	}
+	// Accept-gate: take the read lock only long enough to check closed and
+	// register with the accepting group, then release it BEFORE the blocking
+	// plane acquisition. Holding the lock across <-x.free coupled every
+	// other mu user to this goroutine's backpressure wait: a pending Close
+	// (writer) parked behind a ring-blocked Submit, and the RWMutex's writer
+	// priority then stalled every later reader too. Close now waits on the
+	// accepting group instead, which still guarantees the send below never
+	// races the close of gatherQ.
 	x.mu.RLock()
-	defer x.mu.RUnlock()
 	if x.closed {
+		x.mu.RUnlock()
 		return ErrClosed
 	}
-	// In-flight planes complete independently of this goroutine, so the
-	// acquisition always terminates; Close waits for our read lock before
-	// closing gatherQ, so the send below never races a close.
+	x.accepting.Add(1)
+	x.mu.RUnlock()
+	defer x.accepting.Done()
+	// In-flight planes complete independently of this goroutine (the stage
+	// loops keep draining until Close's accepting.Wait returns), so the
+	// acquisition always terminates.
 	p := <-x.free
 	p.queries = append(p.queries[:0], queries...)
 	p.payload = payload
@@ -300,6 +312,10 @@ func (x *Executor) Close() error {
 	}
 	x.closed = true
 	x.mu.Unlock()
+	// Every Submit that saw closed==false has registered with accepting
+	// before releasing the read lock, so after Wait returns no goroutine
+	// will send on gatherQ again and the close below cannot race a send.
+	x.accepting.Wait()
 	close(x.gatherQ)
 	x.wg.Wait()
 	return nil
@@ -310,6 +326,8 @@ func (x *Executor) Close() error {
 // the moment the plane's work is committed, so it is where a deadline-aware
 // server sheds requests no longer worth gathering. A plane Prepare empties
 // still traverses the ring (token discipline) but skips every engine call.
+//
+//microrec:noalloc
 func (x *Executor) gatherLoop() {
 	defer x.wg.Done()
 	defer close(x.denseQ)
@@ -334,6 +352,8 @@ func (x *Executor) gatherLoop() {
 }
 
 // denseLoop drives stage 2: the hidden-layer blocked GEMM tower.
+//
+//microrec:noalloc
 func (x *Executor) denseLoop() {
 	defer x.wg.Done()
 	defer close(x.tailQ)
@@ -355,6 +375,8 @@ func (x *Executor) denseLoop() {
 
 // tailLoop drives stage 3: the output layer + sigmoid, response delivery,
 // and plane recycling.
+//
+//microrec:noalloc
 func (x *Executor) tailLoop() {
 	defer x.wg.Done()
 	for p := range x.tailQ {

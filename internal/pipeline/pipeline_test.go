@@ -183,39 +183,6 @@ func TestExecutorBitIdentityRandomSpecs(t *testing.T) {
 	}
 }
 
-// TestExecutorSteadyStateAllocs pins the zero-allocation contract of the
-// pipeline loop: with the ring pre-allocated and a pointer-shaped payload, a
-// full Submit → gather → GEMM → tail → Deliver → recycle round trip
-// allocates nothing. The batch stays below the sharded gather's parallel
-// threshold so the gather stage takes its strictly allocation-free inline
-// path (the fan-out goroutines are the one amortised exception, covered by
-// the core gather tests).
-func TestExecutorSteadyStateAllocs(t *testing.T) {
-	eng := buildEngine(t, model.SmallProduction(), core.SmallFP16())
-	done := make(chan struct{}, 1)
-	x, err := New(eng, Options{
-		Depth:    3,
-		MaxBatch: 16,
-		Deliver:  func(payload interface{}, preds []float32) { done <- struct{}{} },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer x.Close()
-	qs := randomQueries(model.SmallProduction(), 16, 5)
-	payload := new(int)
-	roundTrip := func() {
-		if err := x.Submit(qs, payload); err != nil {
-			t.Fatal(err)
-		}
-		<-done
-	}
-	roundTrip() // warm the ring
-	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
-		t.Errorf("pipeline round trip: %v allocs per batch, want 0", allocs)
-	}
-}
-
 // fakeEngine is a StageEngine with deterministic stage durations, used to
 // cross-check the executor's measured steady-state interval against
 // pipesim's marked-graph prediction.

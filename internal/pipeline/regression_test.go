@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"microrec/internal/embedding"
+)
+
+// TestSubmitBackpressureDoesNotWedgeClose is the regression test for the
+// microrec-vet lockheld finding on Submit: the read lock was held (via a
+// deferred RUnlock) across the blocking plane acquisition and gather-queue
+// send. With the ring full, a parked Submit left a pending Close stuck on
+// the write lock, and the RWMutex's writer priority then wedged every later
+// Submit behind that pending writer — the whole front door frozen by one
+// batch's backpressure wait. Post-fix (accept-gate: lock covers only the
+// closed check), Close marks the executor closed immediately and later
+// Submits fail fast with ErrClosed, while Submits already past the gate
+// still drain normally.
+func TestSubmitBackpressureDoesNotWedgeClose(t *testing.T) {
+	release := make(chan struct{})
+	fe := &fakeEngine{}
+	x, err := New(fe, Options{
+		Depth:    2,
+		MaxBatch: 4,
+		Deliver:  func(payload interface{}, preds []float32) {},
+		// Prepare stalls the gather stage, pinning every plane in flight so
+		// the third Submit parks on the free ring.
+		Prepare: func(payload interface{}, queries []embedding.Query) []embedding.Query {
+			<-release
+			return queries
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []embedding.Query{{}}
+	for i := 0; i < 2; i++ {
+		if err := x.Submit(qs, nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	var drain sync.WaitGroup
+	parked := make(chan error, 1)
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		parked <- x.Submit(qs, nil)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the submit park on <-free
+
+	closed := make(chan struct{})
+	go func() {
+		x.Close()
+		close(closed)
+	}()
+
+	// Pre-fix this loop never completes: each fresh Submit blocks on RLock
+	// behind the pending Close, which blocks behind the parked Submit's
+	// read lock, which blocks on the full ring — a cycle only the stalled
+	// gather stage could break. Post-fix, as soon as Close has flipped
+	// closed, a Submit returns ErrClosed without touching the ring.
+	deadline := time.After(5 * time.Second)
+	extras := make(chan error, 64)
+sawClosed:
+	for {
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			extras <- x.Submit(qs, nil)
+		}()
+		select {
+		case err := <-extras:
+			if errors.Is(err, ErrClosed) {
+				break sawClosed
+			}
+			if err != nil {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+		case <-time.After(100 * time.Millisecond):
+			// This submit raced past the gate before closed was set and is
+			// now parked too; try again — the next one must fail fast.
+		case <-deadline:
+			t.Fatal("Submit wedged behind a pending Close while another Submit was backpressure-blocked: lock held across plane acquisition")
+		}
+	}
+
+	// Unstall the pipeline: the parked pre-close Submits complete, Close
+	// drains and returns.
+	close(release)
+	if err := <-parked; err != nil {
+		t.Fatalf("backpressure-blocked submit after release: %v", err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not complete after the pipeline was released")
+	}
+	drain.Wait()
+}

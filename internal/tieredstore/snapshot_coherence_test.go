@@ -1,0 +1,107 @@
+package tieredstore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotCoherentUnderPlacementChurn is the regression test for the
+// microrec-vet statsnapshot finding on Store.Snapshot: BoundNS was computed
+// through the public BoundNS() wrapper (one s.mu acquisition) while the
+// row/byte counts were read under a second acquisition, so a placement
+// published between the two produced a snapshot pairing a bound from one
+// placement with row counts from another. The store here has a single
+// stream flipping between all-hot and all-cold — every placement change is
+// a full state transition, so any snapshot whose bound and counts straddle
+// one is directly incoherent: the bound must be zero exactly when no rows
+// are cold, and must equal the fully-cold bound exactly when no rows are
+// hot. Post-fix both values come from a single acquisition (boundNSLocked
+// inside the same critical section), so every snapshot satisfies the
+// invariant.
+//
+// The stale window between the two acquisitions is a handful of
+// instructions, so catching it needs the mutator parked on the mutex when
+// the first one releases. With a single P the mutator only runs on async
+// preemption and the window is never hit; raising GOMAXPROCS puts the
+// mutator and readers on their own OS threads, where kernel preemption and
+// the mutex's starvation-mode handoff interleave them often enough that the
+// time-bound loop below observes the mix every pre-fix run, even on a
+// one-core host (measured ≥14 incoherent snapshots per 2s window).
+func TestSnapshotCoherentUnderPlacementChurn(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		rows    = 64
+		dim     = 4
+		readers = 4
+	)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float32, rows*dim)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	spec := StreamSpec{ID: 0, Data: data, Dim: dim, Lookups: 2}
+	s, err := Open(Config{SweepEvery: -1, HotBytes: 1 << 30}, []StreamSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	allRows := make([]int64, rows)
+	for r := range allRows {
+		allRows[r] = int64(r)
+	}
+	fullColdBound := float64(spec.Lookups) * s.ColdLatencyNS()
+
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				s.SetPlacement(0, allRows)
+			} else {
+				s.SetPlacement(0, nil)
+			}
+		}
+	}()
+
+	const eps = 1e-9
+	deadline := time.Now().Add(2 * time.Second)
+	violations := make(chan string, readers)
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for time.Now().Before(deadline) {
+				snap := s.Snapshot()
+				switch {
+				case snap.ColdRows == 0 && snap.BoundNS > eps:
+					violations <- fmt.Sprintf("snapshot pairs ColdRows=0 with BoundNS=%v (bound from a stale placement)", snap.BoundNS)
+					return
+				case snap.HotRows == 0 && snap.BoundNS < fullColdBound-eps:
+					violations <- fmt.Sprintf("snapshot pairs HotRows=0 with BoundNS=%v, want fully-cold bound %v", snap.BoundNS, fullColdBound)
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	close(stop)
+	mutator.Wait()
+	select {
+	case v := <-violations:
+		t.Fatal(v)
+	default:
+	}
+}

@@ -151,6 +151,8 @@ type Stream struct {
 // Row returns row `row` of the stream: the pinned DRAM copy when the row is
 // hot, otherwise a slice of the mmap'd cold file. Both hold identical
 // float32 bits. Wait-free and allocation-free.
+//
+//microrec:noalloc
 func (st *Stream) Row(row int64) []float32 {
 	v, _ := st.RowTagged(row)
 	return v
@@ -159,6 +161,8 @@ func (st *Stream) Row(row int64) []float32 {
 // RowTagged is Row plus a cold flag, for callers that attribute cold-tier
 // faults to the batch that suffered them (the flight recorder's per-span
 // cold_faults count). Same wait-free, allocation-free path.
+//
+//microrec:noalloc
 func (st *Stream) RowTagged(row int64) ([]float32, bool) {
 	if m := st.hot.Load(); m != nil {
 		if v, ok := m.rows[row]; ok {
@@ -191,6 +195,8 @@ func (st *Stream) Rows() int64 { return st.rows }
 // query's quantize instead of stalling it. Unlike Store.Prefetch (a
 // page-fault absorber that dereferences the page), this is hint-only:
 // out-of-range rows are ignored and no fault is forced.
+//
+//microrec:noalloc
 func (st *Stream) PrefetchRow(row int64) {
 	if row < 0 || row >= st.rows {
 		return
@@ -556,6 +562,13 @@ func (s *Store) Prefetch(id int, row int64) bool {
 func (s *Store) BoundNS() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.boundNSLocked()
+}
+
+// boundNSLocked computes the bound against the current master placement.
+// Callers hold s.mu — Snapshot uses this so the bound and the row counts it
+// reports come from the same placement, not two acquisitions apart.
+func (s *Store) boundNSLocked() float64 {
 	var ns float64
 	for id, st := range s.streams {
 		coldFrac := 1 - float64(len(s.master[id]))/float64(st.rows)
@@ -611,9 +624,14 @@ func (s *Store) Snapshot() Snapshot {
 		Demotions:      s.demotions.Load(),
 		Sweeps:         s.sweeps.Load(),
 		Prefetches:     s.prefetches.Load(),
-		BoundNS:        s.BoundNS(),
 	}
+	// One acquisition covers the bound AND the row/byte counts: computing
+	// BoundNS through its public wrapper took s.mu separately, so a sweep
+	// publishing a new placement between the two locks could pair a bound
+	// from one placement with row counts from another (statsnapshot's bug
+	// class — a snapshot no real instant ever exhibited).
 	s.mu.Lock()
+	snap.BoundNS = s.boundNSLocked()
 	for id, st := range s.streams {
 		snap.HotRows += int64(len(s.master[id]))
 		snap.ColdRows += st.rows - int64(len(s.master[id]))

@@ -1,0 +1,26 @@
+//go:build amd64 && !noasm
+
+package microrec_test
+
+import "microrec/internal/kernels"
+
+// The AVX2 GEMM compiles on every amd64 !noasm build; on hosts with AVX2 it
+// is also the kernels.Gemm dispatch target, so driving the dispatch pins the
+// assembly path where it is live and the reference fallback elsewhere.
+func init() {
+	const b, in, out, stride = 4, 16, 8, 32
+	x := make([]int64, b*stride)
+	y := make([]int64, b*stride)
+	wt := make([]int64, out*in)
+	for i := range x {
+		x[i] = int64(i%7 - 3)
+	}
+	for i := range wt {
+		wt[i] = int64(i%5 - 2)
+	}
+	zeroallocArch = append(zeroallocArch, allocCase{
+		name:   "kernels/gemm-dispatch",
+		covers: []string{"internal/kernels.gemmAVX2"},
+		run:    func() { kernels.Gemm(x, y, b, in, out, stride, wt) },
+	})
+}

@@ -1,0 +1,24 @@
+//go:build !noasm
+
+package microrec_test
+
+import (
+	"microrec/internal/fixedpoint"
+	"microrec/internal/kernels"
+)
+
+// The batched quantize only exists off the noasm leg; under !noasm the
+// kernels.QuantizeRow dispatch variable is quantizeRowBatch, so driving the
+// dispatch pins the batched kernel itself.
+func init() {
+	src := make([]float32, 48)
+	dst := make([]int64, 48)
+	for i := range src {
+		src[i] = float32(i)/16 - 1
+	}
+	zeroallocArch = append(zeroallocArch, allocCase{
+		name:   "kernels/batched-quantize",
+		covers: []string{"internal/kernels.quantizeRowBatch"},
+		run:    func() { kernels.QuantizeRow(fixedpoint.Fixed16, src, dst) },
+	})
+}

@@ -1,0 +1,9 @@
+//go:build noasm
+
+package microrec_test
+
+// Under -tags noasm the optimized kernel files drop out of the build; tell
+// the annotation parser so its expected set drops them too.
+func init() {
+	parseTags = []string{"noasm"}
+}

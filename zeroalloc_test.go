@@ -1,0 +1,397 @@
+package microrec_test
+
+// This file is the single home of the datapath's zero-allocation pins. Every
+// function annotated //microrec:noalloc in the tree appears in exactly one
+// row's covers list below, and two tests enforce the contract from both
+// sides:
+//
+//   - TestNoallocAnnotationTableComplete parses the source tree (under the
+//     same build tags the test itself was compiled with) and diffs the
+//     annotated-function set against the union of the covers lists. Adding
+//     an annotation without extending the table fails, and so does stripping
+//     an annotation the table still claims — the static hotalloc analyzer
+//     and this dynamic table can never silently drift apart.
+//
+//   - TestNoallocFunctionsAllocationFree drives every row's runner under
+//     testing.AllocsPerRun and requires exactly zero allocations per run.
+//
+// Rows for build-gated kernels live in sibling files with matching
+// constraints (zeroalloc_asm_test.go, zeroalloc_amd64_test.go), so the table
+// reshapes itself with the build exactly as the source set does.
+
+import (
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/fixedpoint"
+	"microrec/internal/kernels"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/obs"
+	"microrec/internal/pipeline"
+	"microrec/internal/placement"
+	"microrec/internal/tieredstore"
+)
+
+// parseTags is the build-tag list the annotation parser satisfies, mirroring
+// the tags this test binary was built with. The default build satisfies
+// none; zeroalloc_noasm_test.go switches it under -tags noasm.
+var parseTags []string
+
+// zeroallocArch holds the rows contributed by build-constrained sibling
+// files (optimized kernels that only exist on some build shapes).
+var zeroallocArch []allocCase
+
+type allocCase struct {
+	name string
+	// covers lists the annotated functions this runner executes, keyed as
+	// "<package dir>.<receiver.>name" (e.g. "internal/core.Engine.DenseFromPlane").
+	covers []string
+	run    func()
+}
+
+// allocQueries mirrors the per-package randomQueries test helpers: n valid
+// queries for spec with deterministic indices.
+func allocQueries(spec *model.Spec, n int, seed int64) []embedding.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]embedding.Query, n)
+	for i := range qs {
+		q := make(embedding.Query, len(spec.Tables))
+		for ti, tab := range spec.Tables {
+			idxs := make([]int64, tab.Lookups)
+			for k := range idxs {
+				idxs[k] = rng.Int63n(tab.Rows)
+			}
+			q[ti] = idxs
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// zeroallocCases builds the portable rows. The batch of 8 stays below the
+// sharded gather's parallel threshold so the gather runners take the
+// strictly allocation-free inline path (the parallel path's amortised
+// goroutine fan-out is pinned separately in internal/core's gather tests).
+func zeroallocCases(t *testing.T) []allocCase {
+	t.Helper()
+	spec := model.SmallProduction()
+	cfg := core.SmallFP16()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: 1, MaxRowsPerTable: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := placement.Plan(spec, memsim.U280(cfg.OnChipBanks), placement.Options{EnableCartesian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(params, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const b = 8
+	qs := allocQueries(spec, b, 3)
+
+	var gatherScratch core.BatchScratch
+	eng.EnsurePlane(&gatherScratch, b)
+	preds := make([]float32, b)
+
+	tables := make([]int, eng.PhysicalTables())
+	for i := range tables {
+		tables[i] = i
+	}
+	var partialScratch core.BatchScratch
+	eng.EnsurePlane(&partialScratch, b)
+
+	rec := obs.NewRecorder(256, 1)
+	span := obs.Span{Start: 1, EndToEndNS: 9, GatherNS: 3, DenseNS: 4, TailNS: 2, Batch: b}
+
+	const (
+		tsRows = 64
+		tsDim  = 8
+	)
+	tsData := make([]float32, tsRows*tsDim)
+	for i := range tsData {
+		tsData[i] = float32(i)
+	}
+	ts, err := tieredstore.Open(
+		tieredstore.Config{SweepEvery: -1, HotBytes: 1 << 30},
+		[]tieredstore.StreamSpec{{ID: 0, Data: tsData, Dim: tsDim, Lookups: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	hotHalf := make([]int64, tsRows/2)
+	for i := range hotHalf {
+		hotHalf[i] = int64(i)
+	}
+	ts.SetPlacement(0, hotHalf) // rows 0..31 hot, 32..63 cold: exercise both tiers
+	stream := ts.Stream(0)
+
+	done := make(chan struct{}, 1)
+	x, err := pipeline.New(eng, pipeline.Options{
+		Depth:    3,
+		MaxBatch: 16,
+		Deliver:  func(payload interface{}, preds []float32) { done <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { x.Close() })
+	pipeQs := allocQueries(spec, 16, 5)
+	payload := new(int)
+
+	const (
+		kb, kin, kout, kstride = 4, 16, 8, 32
+	)
+	gx := make([]int64, kb*kstride)
+	gy := make([]int64, kb*kstride)
+	wt := make([]int64, kout*kin)
+	for i := range gx {
+		gx[i] = int64(i%7 - 3)
+	}
+	for i := range wt {
+		wt[i] = int64(i%5 - 2)
+	}
+	qsrc := make([]float32, 48)
+	qdst := make([]int64, 48)
+	for i := range qsrc {
+		qsrc[i] = float32(i)/16 - 1
+	}
+
+	return []allocCase{
+		{
+			name: "core/gather-inline",
+			covers: []string{
+				"internal/core.Engine.GatherIntoPlane",
+				"internal/core.Engine.gatherTables",
+				"internal/core.gatherTable.matRow",
+				"internal/core.gatherTable.prefetchMatRow",
+				"internal/core.gatherSource.prefetchRow",
+			},
+			run: func() { eng.GatherIntoPlane(qs, &gatherScratch) },
+		},
+		{
+			name: "core/dense-tail",
+			covers: []string{
+				"internal/core.Engine.DenseFromPlane",
+				"internal/core.Engine.TailFromPlane",
+			},
+			run: func() {
+				eng.DenseFromPlane(b, &gatherScratch)
+				eng.TailFromPlane(b, &gatherScratch, preds)
+			},
+		},
+		{
+			name: "core/partial-gather",
+			covers: []string{
+				"internal/core.Engine.GatherPartialIntoPlane",
+				"internal/core.Engine.ZeroDenseTail",
+			},
+			run: func() {
+				eng.GatherPartialIntoPlane(tables, qs, &partialScratch, nil)
+				eng.ZeroDenseTail(b, &partialScratch)
+			},
+		},
+		{
+			name: "pipeline/round-trip",
+			covers: []string{
+				"internal/pipeline.Executor.gatherLoop",
+				"internal/pipeline.Executor.denseLoop",
+				"internal/pipeline.Executor.tailLoop",
+			},
+			run: func() {
+				if err := x.Submit(pipeQs, payload); err != nil {
+					t.Fatal(err)
+				}
+				<-done
+			},
+		},
+		{
+			name: "obs/span-record",
+			covers: []string{
+				"internal/obs.Recorder.Sample",
+				"internal/obs.Recorder.Record",
+				"internal/obs.Span.encode",
+			},
+			run: func() {
+				if rec.Sample() {
+					spanSink = rec.Record(span)
+				}
+			},
+		},
+		{
+			name: "tieredstore/row-access",
+			covers: []string{
+				"internal/tieredstore.Stream.Row",
+				"internal/tieredstore.Stream.RowTagged",
+				"internal/tieredstore.Stream.PrefetchRow",
+			},
+			run: func() {
+				rowSink = stream.Row(2)           // hot tier
+				rowSink, _ = stream.RowTagged(40) // cold tier
+				stream.PrefetchRow(41)
+			},
+		},
+		{
+			name: "kernels/reference",
+			covers: []string{
+				"internal/kernels.GemmRef",
+				"internal/kernels.QuantizeRowRef",
+				"internal/kernels.PrefetchNT",
+			},
+			run: func() {
+				kernels.GemmRef(gx, gy, kb, kin, kout, kstride, wt)
+				kernels.QuantizeRowRef(fixedpoint.Fixed16, qsrc, qdst)
+				kernels.PrefetchNT(qsrc)
+			},
+		},
+	}
+}
+
+// Sinks keep results live so the runners cannot be dead-code-eliminated.
+var (
+	spanSink uint64
+	rowSink  []float32
+)
+
+// TestNoallocFunctionsAllocationFree is the consolidated AllocsPerRun pin:
+// every annotated hot-path function, exercised through its natural entry
+// point, allocates nothing in steady state.
+func TestNoallocFunctionsAllocationFree(t *testing.T) {
+	for _, c := range append(zeroallocCases(t), zeroallocArch...) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			c.run() // warm: ring buffers, lazily-sized scratch, page faults
+			if allocs := testing.AllocsPerRun(100, c.run); allocs != 0 {
+				t.Errorf("%s: %v allocs per run, want 0 (covers %v)", c.name, allocs, c.covers)
+			}
+		})
+	}
+}
+
+// TestNoallocAnnotationTableComplete diffs the //microrec:noalloc annotation
+// set parsed from source against the covers lists above. The parse respects
+// the build tags this test was compiled with, so the noasm leg expects
+// exactly the portable set.
+func TestNoallocAnnotationTableComplete(t *testing.T) {
+	annotated := parseNoallocAnnotations(t)
+	covered := make(map[string]string)
+	for _, c := range append(zeroallocCases(t), zeroallocArch...) {
+		if len(c.covers) == 0 {
+			t.Errorf("case %s covers nothing; every row must pin at least one annotated function", c.name)
+		}
+		for _, key := range c.covers {
+			covered[key] = c.name
+		}
+	}
+	for key := range annotated {
+		if _, ok := covered[key]; !ok {
+			t.Errorf("%s is annotated //microrec:noalloc but no zeroalloc case covers it; add it to a covers list with a runner", key)
+		}
+	}
+	keys := make([]string, 0, len(covered))
+	for key := range covered {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if !annotated[key] {
+			t.Errorf("case %s claims to cover %s, which has no //microrec:noalloc annotation in source; the annotation was moved or stripped", covered[key], key)
+		}
+	}
+	if len(annotated) == 0 {
+		t.Fatal("parsed zero //microrec:noalloc annotations; the source scan is broken")
+	}
+}
+
+// parseNoallocAnnotations walks internal/ and cmd/ (the test runs with the
+// repo root as working directory), skipping analyzer fixture trees, and
+// returns the set of functions whose doc comment carries the directive.
+func parseNoallocAnnotations(t *testing.T) map[string]bool {
+	t.Helper()
+	ctx := build.Default
+	ctx.BuildTags = append([]string{}, parseTags...)
+	out := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			pkg, err := ctx.ImportDir(path, 0)
+			if err != nil {
+				if _, ok := err.(*build.NoGoError); ok {
+					return nil
+				}
+				return err
+			}
+			for _, name := range pkg.GoFiles {
+				f, err := parser.ParseFile(fset, filepath.Join(path, name), nil, parser.ParseComments)
+				if err != nil {
+					return err
+				}
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Doc == nil {
+						continue
+					}
+					for _, c := range fd.Doc.List {
+						if c.Text == "//microrec:noalloc" {
+							out[funcKey(path, fd)] = true
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func funcKey(dir string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if recv := recvTypeName(fd.Recv.List[0].Type); recv != "" {
+			name = recv + "." + name
+		}
+	}
+	return filepath.ToSlash(dir) + "." + name
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
