@@ -34,9 +34,15 @@ type benchReport struct {
 	Model     string `json:"model"`
 	Mode      string `json:"mode"`
 	// Shards is the scatter/gather tier's shard count (1 = single engine).
-	Shards     int `json:"shards"`
-	Queries    int `json:"queries_per_batch_size"`
-	GoMaxProcs int `json:"gomaxprocs"`
+	Shards int `json:"shards"`
+	// Replicas/Route describe the replicated tier when the run used
+	// -replicas > 1 (absent on single-replica runs, keeping the committed
+	// baseline schema unchanged). benchdiff refuses cross-topology pairs:
+	// N replicas' aggregate ns/query is not one datapath's.
+	Replicas   int    `json:"replicas,omitempty"`
+	Route      string `json:"route,omitempty"`
+	Queries    int    `json:"queries_per_batch_size"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	// Kernels records which optimized datapath kernels the producing build
 	// selected (microrec.KernelFeatures; "portable" under the noasm tag).
 	// Empty in documents predating the kernel layer.
@@ -67,16 +73,17 @@ func parseBatchList(s string) ([]int, error) {
 	return out, nil
 }
 
-// benchServe drives n queries through a fresh server at one batch size and
-// measures wall-clock ns/query from concurrent submitters (the same shape as
-// BenchmarkServeBatched/Pipelined, minus the testing harness).
-func benchServe(eng *microrec.Engine, qs []microrec.Query, batch, n int, opts microrec.ServerOptions) (benchResult, error) {
-	opts.MaxBatch = batch
-	srv, err := microrec.NewServer(eng, opts)
-	if err != nil {
-		return benchResult{}, err
-	}
-	defer srv.Close()
+// benchTarget is the slice of the serving tier the bench loop drives: a
+// single *microrec.Server or a *microrec.Router over N replicas.
+type benchTarget interface {
+	Submit(ctx context.Context, q microrec.Query) (microrec.ServeResult, error)
+	Stats() microrec.ServerStats
+}
+
+// benchServe drives n queries through a fresh serving target at one batch
+// size and measures wall-clock ns/query from concurrent submitters (the same
+// shape as BenchmarkServeBatched/Pipelined, minus the testing harness).
+func benchServe(srv benchTarget, qs []microrec.Query, batch, n int) (benchResult, error) {
 	benchCtx := context.Background()
 
 	submitters := 4 * batch
@@ -150,7 +157,7 @@ func cmdBench(args []string) error {
 	batches := fs.String("batches", "1,16,64", "comma-separated micro-batch sizes")
 	workerPool := fs.Bool("worker-pool", false, "bench the worker-pool drain instead of the staged pipeline")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
-	shards := fs.Int("shards", 1, "gather shards of the scatter/gather tier (1 = single engine)")
+	topo := addTopologyFlags(fs)
 	applyColdTier := addColdTierFlags(fs, "bench")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,8 +165,8 @@ func cmdBench(args []string) error {
 	if *n < 4 {
 		return fmt.Errorf("bench: -n must be >= 4 (got %d)", *n)
 	}
-	if *shards < 1 {
-		return fmt.Errorf("bench: -shards must be >= 1 (got %d)", *shards)
+	if err := topo.validate("bench"); err != nil {
+		return err
 	}
 	sizes, err := parseBatchList(*batches)
 	if err != nil {
@@ -173,11 +180,18 @@ func cmdBench(args []string) error {
 	if err := applyColdTier(&engOpts); err != nil {
 		return err
 	}
-	eng, err := microrec.NewEngine(spec, engOpts)
-	if err != nil {
-		return err
+	// One engine per replica (same seed: bit-identical), shared across the
+	// batch-size ladder — the routers below borrow them without owning them.
+	engines := make([]*microrec.Engine, *topo.replicas)
+	for i := range engines {
+		eng, err := microrec.NewEngine(spec, engOpts)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		engines[i] = eng
 	}
-	defer eng.Close()
+	eng := engines[0]
 	gen, err := microrec.NewGenerator(spec, microrec.Zipf, 11)
 	if err != nil {
 		return err
@@ -191,19 +205,22 @@ func cmdBench(args []string) error {
 		Benchmark:  "serve",
 		Model:      spec.Name,
 		Mode:       "pipeline",
-		Shards:     *shards,
+		Shards:     *topo.shards,
 		Queries:    *n,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Kernels:    microrec.KernelFeatures(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
+	if topo.routed() {
+		rep.Replicas = *topo.replicas
+		rep.Route = string(topo.policy)
+	}
 	bi := microrec.ReadBuildInfo()
 	rep.BuildInfo = &bi
 	opts := microrec.ServerOptions{
-		Window:        200 * time.Microsecond,
-		WorkerPool:    *workerPool,
-		PipelineDepth: *pipelineDepth,
-		Shards:        *shards,
+		Batching: microrec.BatchingOptions{Window: 200 * time.Microsecond},
+		Pipeline: microrec.PipelineOptions{Depth: *pipelineDepth, WorkerPool: *workerPool},
+		Tier:     microrec.TierOptions{Shards: *topo.shards},
 	}
 	if *workerPool {
 		rep.Mode = "worker-pool"
@@ -215,7 +232,30 @@ func cmdBench(args []string) error {
 		progress = os.Stderr
 	}
 	for _, b := range sizes {
-		res, err := benchServe(eng, qs, b, *n, opts)
+		res, err := func() (benchResult, error) {
+			bopts := opts
+			bopts.Batching.MaxBatch = b
+			if topo.routed() {
+				rt, err := microrec.NewRouter(microrec.RouterOptions{Policy: topo.policy})
+				if err != nil {
+					return benchResult{}, err
+				}
+				defer rt.Close()
+				for _, e := range engines {
+					// nil closer: the engines outlive this batch size's router.
+					if _, err := rt.Add(e, bopts, nil); err != nil {
+						return benchResult{}, err
+					}
+				}
+				return benchServe(rt, qs, b, *n)
+			}
+			srv, err := microrec.NewServer(eng, bopts)
+			if err != nil {
+				return benchResult{}, err
+			}
+			defer srv.Close()
+			return benchServe(srv, qs, b, *n)
+		}()
 		if err != nil {
 			return fmt.Errorf("bench: batch %d: %w", b, err)
 		}

@@ -36,10 +36,30 @@ func envMismatch(baseline, candidate benchReport) []string {
 	if baseline.Shards != candidate.Shards {
 		m = append(m, fmt.Sprintf("shards %d vs baseline %d", candidate.Shards, baseline.Shards))
 	}
+	// Topology gate: replicas 0 (documents predating the replicated tier)
+	// and 1 both mean a single unrouted server, and route is only
+	// meaningful once replicated — N replicas' aggregate ns/query is not
+	// one datapath's, so cross-topology ratios are refused like any other
+	// environment skew.
+	bReplicas, cReplicas := normReplicas(baseline.Replicas), normReplicas(candidate.Replicas)
+	if bReplicas != cReplicas {
+		m = append(m, fmt.Sprintf("replicas %d vs baseline %d", cReplicas, bReplicas))
+	} else if bReplicas > 1 && baseline.Route != candidate.Route {
+		m = append(m, fmt.Sprintf("route %q vs baseline %q", candidate.Route, baseline.Route))
+	}
 	if baseline.GoMaxProcs != candidate.GoMaxProcs {
 		m = append(m, fmt.Sprintf("gomaxprocs %d vs baseline %d", candidate.GoMaxProcs, baseline.GoMaxProcs))
 	}
 	return m
+}
+
+// normReplicas folds the two spellings of "no router" — a legacy document
+// with no replicas field and an explicit single replica — into 1.
+func normReplicas(r int) int {
+	if r < 1 {
+		return 1
+	}
+	return r
 }
 
 // requireSameCommit enforces -require-same-commit: both documents must carry

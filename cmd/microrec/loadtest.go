@@ -26,7 +26,11 @@ type loadtestReport struct {
 	QueueDepth    int     `json:"queue_depth"`
 	PipelineDepth int     `json:"pipeline_depth"`
 	// Shards is the scatter/gather tier's shard count (1 = single engine).
-	Shards          int     `json:"shards"`
+	Shards int `json:"shards"`
+	// Replicas/Route describe the replicated tier when the run used
+	// -replicas > 1 (absent on single-replica runs).
+	Replicas        int     `json:"replicas,omitempty"`
+	Route           string  `json:"route,omitempty"`
 	RequestsPerLoad int     `json:"requests_per_load"`
 	Tolerance       float64 `json:"tolerance"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
@@ -54,6 +58,20 @@ type loadtestReport struct {
 	// model bytes, modeled cold latency) and post-sweep counters when the
 	// run used -cold-tier (absent on all-DRAM runs).
 	Tier *microrec.TierStats `json:"tier,omitempty"`
+	// Router echoes the replicated tier's post-sweep scoreboard when the
+	// run used -replicas > 1: per-replica occupancy, routing decisions per
+	// policy, and — on -route affinity runs, which calibrate under
+	// round-robin before switching — the aggregate hot-cache hit-rate lift
+	// over the round-robin baseline.
+	Router *microrec.RouterStats `json:"router,omitempty"`
+}
+
+// loadtestTarget is the slice of the serving tier the sweep drives: a single
+// *microrec.Server, or a *microrec.Router over N replicas.
+type loadtestTarget interface {
+	microrec.LoadTarget
+	Stats() microrec.ServerStats
+	CapacityQPS() float64
 }
 
 // parseLoadList parses a comma-separated ascending qps ladder ("500,1000").
@@ -81,7 +99,8 @@ func cmdLoadtest(args []string) error {
 	window := fs.Duration("window", 200*time.Microsecond, "micro-batch flush window")
 	queue := fs.Int("queue", 64, "submit queue depth (0 = 4x batch); bounds every admitted request's queueing delay")
 	pipelineDepth := fs.Int("pipeline-depth", 3, "plane-ring depth of the pipelined drain")
-	shards := fs.Int("shards", 1, "gather shards of the scatter/gather tier (1 = single engine)")
+	topo := addTopologyFlags(fs)
+	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes per replica (0 = off); with -route affinity this is the cache whose aggregate hit-rate lift the report records")
 	tol := fs.Float64("tol", 0.01, "loss fraction (shed+expired) still counted as meeting the SLA")
 	zipf := fs.Bool("zipf", true, "Zipfian query skew (false = uniform)")
 	seed := fs.Int64("seed", 21, "deterministic arrival + workload seed")
@@ -101,8 +120,11 @@ func cmdLoadtest(args []string) error {
 	if *queue < 0 {
 		return fmt.Errorf("loadtest: -queue must be >= 0 (got %d)", *queue)
 	}
-	if *shards < 1 {
-		return fmt.Errorf("loadtest: -shards must be >= 1 (got %d)", *shards)
+	if *hotCache < 0 {
+		return fmt.Errorf("loadtest: -hotcache must be >= 0 bytes (got %d)", *hotCache)
+	}
+	if err := topo.validate("loadtest"); err != nil {
+		return err
 	}
 	var ladder []float64
 	if *loads != "auto" {
@@ -116,30 +138,54 @@ func cmdLoadtest(args []string) error {
 	if err != nil {
 		return err
 	}
-	engOpts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096}
+	engOpts := microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 4096, HotCacheBytes: *hotCache}
 	if err := applyColdTier(&engOpts); err != nil {
 		return err
 	}
-	eng, err := microrec.NewEngine(spec, engOpts)
-	if err != nil {
-		return err
-	}
-	defer eng.Close()
 	// The loadtest server always sheds: open-loop overload against a
 	// blocking queue just moves the queue into the harness.
-	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
-		MaxBatch:      *batch,
-		Window:        *window,
-		QueueDepth:    *queue,
-		PipelineDepth: *pipelineDepth,
-		Shed:          true,
-		SLA:           *slaBudget,
-		Shards:        *shards,
-	})
-	if err != nil {
-		return err
+	sopts := microrec.ServerOptions{
+		Batching:  microrec.BatchingOptions{MaxBatch: *batch, Window: *window},
+		Admission: microrec.AdmissionOptions{QueueDepth: *queue, Shed: true, SLA: *slaBudget},
+		Pipeline:  microrec.PipelineOptions{Depth: *pipelineDepth},
+		Tier:      microrec.TierOptions{Shards: *topo.shards},
 	}
-	defer srv.Close()
+	var (
+		target loadtestTarget
+		rt     *microrec.Router
+		eng    *microrec.Engine
+	)
+	if topo.routed() {
+		// An affinity run calibrates under round-robin first, so the
+		// hit-rate lift the report records is measured against the
+		// oblivious baseline on this exact workload; the switch happens
+		// right before the sweep.
+		buildPolicy := topo.policy
+		if topo.policy == microrec.RouteAffinity {
+			buildPolicy = microrec.RouteRoundRobin
+		}
+		routedTopo := *topo
+		routedTopo.policy = buildPolicy
+		var first *microrec.Engine
+		rt, first, err = routedTopo.buildRouter(spec, engOpts, sopts)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		target, eng = rt, first
+	} else {
+		eng, err = microrec.NewEngine(spec, engOpts)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		srv, err := microrec.NewServer(eng, sopts)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		target = srv
+	}
 
 	dist := microrec.Uniform
 	if *zipf {
@@ -166,14 +212,18 @@ func cmdLoadtest(args []string) error {
 		SLAMS:           float64(*slaBudget) / float64(time.Millisecond),
 		MaxBatch:        *batch,
 		WindowUS:        float64(*window) / float64(time.Microsecond),
-		QueueDepth:      srv.Options().QueueDepth,
+		QueueDepth:      target.Stats().Admission.QueueCapacity,
 		PipelineDepth:   *pipelineDepth,
-		Shards:          *shards,
+		Shards:          *topo.shards,
 		RequestsPerLoad: *n,
 		Tolerance:       *tol,
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		Kernels:         microrec.KernelFeatures(),
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if topo.routed() {
+		rep.Replicas = *topo.replicas
+		rep.Route = string(topo.policy)
 	}
 	bi := microrec.ReadBuildInfo()
 	rep.BuildInfo = &bi
@@ -185,7 +235,7 @@ func cmdLoadtest(args []string) error {
 		if err != nil {
 			return err
 		}
-		calib, err := microrec.RunLoad(srv, qs, arr, microrec.LoadOptions{Requests: *n / 2, SLA: *slaBudget})
+		calib, err := microrec.RunLoad(target, qs, arr, microrec.LoadOptions{Requests: *n / 2, SLA: *slaBudget})
 		if err != nil {
 			return fmt.Errorf("loadtest: calibration: %w", err)
 		}
@@ -200,7 +250,19 @@ func cmdLoadtest(args []string) error {
 		}
 	}
 
-	sweep, err := microrec.SweepLoad(srv, qs, microrec.LoadSweepOptions{
+	if rt != nil && topo.policy == microrec.RouteAffinity {
+		// Calibration (and any explicit-ladder warmup) ran under
+		// round-robin; mark the pooled hit-rate baseline, then switch. The
+		// sweep's aggregate hit rate and the recorded delta now measure the
+		// affinity lift over that baseline.
+		rt.MarkHitRateBaseline()
+		if err := rt.SetPolicy(microrec.RouteAffinity); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "hit-rate baseline marked under round-robin; sweeping with affinity routing\n")
+	}
+
+	sweep, err := microrec.SweepLoad(target, qs, microrec.LoadSweepOptions{
 		Loads:     ladder,
 		Requests:  *n,
 		SLA:       *slaBudget,
@@ -212,9 +274,11 @@ func cmdLoadtest(args []string) error {
 	}
 	rep.Points = sweep.Points
 	rep.KneeQPS = sweep.KneeQPS
-	rep.PredictedCapacityQPS = srv.CapacityQPS()
-	rep.Admission = srv.Stats().Admission
+	rep.PredictedCapacityQPS = target.CapacityQPS()
+	st := target.Stats()
+	rep.Admission = st.Admission
 	rep.Tier = tierSnapshot(eng)
+	rep.Router = st.Router
 
 	fmt.Fprintf(progress, "\n%-12s %-12s %-10s %-10s %-10s %-8s %-8s %s\n",
 		"offered-qps", "goodput-qps", "p50-us", "p99-us", "shed-p99", "shed", "expired", "SLA")
@@ -229,6 +293,11 @@ func cmdLoadtest(args []string) error {
 	}
 	fmt.Fprintf(progress, "\nknee: %.0f qps meeting the %v SLA (pipesim-predicted capacity %.0f qps)\n",
 		rep.KneeQPS, *slaBudget, rep.PredictedCapacityQPS)
+	if rep.Router != nil {
+		fmt.Fprintf(progress, "router: %d replicas, policy %s, aggregate hot-cache hit rate %.3f (baseline %.3f, lift %+.3f)\n",
+			rep.Router.Replicas, rep.Router.Policy, rep.Router.AggregateHitRate,
+			rep.Router.BaselineHitRate, rep.Router.HitRateDelta)
+	}
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -83,7 +83,8 @@ commands:
   exp <name|all>   regenerate a paper table/figure (see 'microrec list')
   plan             run the table-combination + allocation search
   infer            run the accelerator engine on synthetic queries
-  serve            start an HTTP inference server
+  serve            start an HTTP inference server (scale with -shards inside
+                   one replica, -replicas/-route across replicas)
   bench            measure serving ns/query per batch size, emit JSON
   loadtest         open-loop load sweep: find the knee (max qps meeting the
                    SLA), drive past it, emit BENCH_loadtest.json

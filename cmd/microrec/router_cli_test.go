@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"microrec"
+)
+
+// parseTopology runs the shared topology flags through a throwaway FlagSet,
+// mirroring how serve/bench/loadtest consume them.
+func parseTopology(t *testing.T, args ...string) *topology {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	topo := addTopologyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTopologyFlagValidation(t *testing.T) {
+	topo := parseTopology(t, "-replicas", "3", "-route", "affinity", "-shards", "2")
+	if err := topo.validate("test"); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.routed() || topo.policy != microrec.RouteAffinity {
+		t.Fatalf("routed=%v policy=%q after -replicas 3 -route affinity", topo.routed(), topo.policy)
+	}
+	if topo = parseTopology(t, "-replicas", "0"); topo.validate("test") == nil {
+		t.Fatal("-replicas 0 accepted")
+	}
+	if topo = parseTopology(t, "-route", "random"); topo.validate("test") == nil {
+		t.Fatal("-route random accepted")
+	}
+	if topo = parseTopology(t); topo.validate("test") != nil || topo.routed() {
+		t.Fatal("defaults must validate as a single unrouted replica")
+	}
+}
+
+// TestServeMuxRouted drives the HTTP API with a router behind it instead of
+// a single server: /predict serves, and /stats carries the router section
+// with both replicas on the scoreboard.
+func TestServeMuxRouted(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	topo := parseTopology(t, "-replicas", "2", "-route", "round-robin")
+	if err := topo.validate("test"); err != nil {
+		t.Fatal(err)
+	}
+	rt, eng, err := topo.buildRouter(spec,
+		microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 64},
+		microrec.ServerOptions{Batching: microrec.BatchingOptions{MaxBatch: 4, Window: 200 * time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	mux := newServeMux(eng, rt, false)
+
+	gen, err := microrec.NewGenerator(spec, microrec.Uniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		body, err := json.Marshal(predictRequest{Indices: gen.Next()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", strings.NewReader(string(body))))
+		if rec.Code != 200 {
+			t.Fatalf("routed /predict %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats status %d", rec.Code)
+	}
+	var st microrec.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Router == nil {
+		t.Fatal("routed /stats has no router section")
+	}
+	if st.Router.Replicas != 2 || len(st.Router.PerReplica) != 2 {
+		t.Fatalf("router section reports %d replicas (%d rows), want 2",
+			st.Router.Replicas, len(st.Router.PerReplica))
+	}
+	if st.Router.Policy != string(microrec.RouteRoundRobin) {
+		t.Fatalf("router policy %q, want round-robin", st.Router.Policy)
+	}
+	var routed uint64
+	for _, rs := range st.Router.PerReplica {
+		routed += rs.Routed
+	}
+	if routed != 8 {
+		t.Fatalf("replicas report %d routed requests, want 8", routed)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "microrec_router_replicas 2") {
+		t.Fatalf("/metrics lacks the router families (status %d)", rec.Code)
+	}
+}
+
+// TestBenchdiffTopologyGate pins the cross-topology refusal: a routed
+// candidate cannot be judged against a single-replica baseline, matched
+// topologies compare, and a legacy baseline without the replicas field is
+// one and the same as an explicit single replica.
+func TestBenchdiffTopologyGate(t *testing.T) {
+	dir := t.TempDir()
+	single := serveReport(map[int]float64{1: 1000, 16: 500, 64: 300})
+	routed := single
+	routed.Replicas, routed.Route = 2, "affinity"
+
+	base := writeBenchJSON(t, dir, "base.json", single)
+	cand := writeBenchJSON(t, dir, "routed.json", routed)
+	err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "replicas") {
+		t.Fatalf("routed-vs-single comparison: %v; want a replicas mismatch refusal", err)
+	}
+	// -allow-env-mismatch still overrides, like every other env skew.
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", cand, "-allow-env-mismatch"}); err != nil {
+		t.Fatalf("explicit override refused: %v", err)
+	}
+
+	// Same replica count but different policies: also not one datapath.
+	other := routed
+	other.Route = "least-loaded"
+	routedBase := writeBenchJSON(t, dir, "routed_base.json", routed)
+	otherCand := writeBenchJSON(t, dir, "other.json", other)
+	if err := cmdBenchdiff([]string{"-baseline", routedBase, "-candidate", otherCand}); err == nil || !strings.Contains(err.Error(), "route") {
+		t.Fatalf("cross-policy comparison: %v; want a route mismatch refusal", err)
+	}
+
+	// Matched routed topologies compare normally.
+	if err := cmdBenchdiff([]string{"-baseline", routedBase, "-candidate", writeBenchJSON(t, dir, "routed2.json", routed)}); err != nil {
+		t.Fatalf("matched routed comparison failed: %v", err)
+	}
+
+	// An explicit -replicas 1 candidate against a legacy baseline (no
+	// replicas field) is the same topology, not a mismatch.
+	one := single
+	one.Replicas = 1
+	if err := cmdBenchdiff([]string{"-baseline", base, "-candidate", writeBenchJSON(t, dir, "one.json", one)}); err != nil {
+		t.Fatalf("replicas=1 vs legacy baseline refused: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -40,14 +41,34 @@ type modelInfoResponse struct {
 	LookupNS   int64  `json:"lookup_ns"`
 }
 
-// newServeMux builds the HTTP API around an engine and its batched server
+// serveTarget is the serving surface the HTTP API fronts: a single batched
+// *microrec.Server, or a *microrec.Router spreading requests over N server
+// replicas. Both expose the same predict/stats/trace/metrics seam, so the
+// mux never cares which topology is behind it.
+type serveTarget interface {
+	Submit(ctx context.Context, q microrec.Query) (microrec.ServeResult, error)
+	RetryAfter() time.Duration
+	Stats() microrec.ServerStats
+	Trace(last int, since time.Time) []microrec.TraceSpan
+	WriteMetrics(w io.Writer) error
+}
+
+var (
+	_ serveTarget = (*microrec.Server)(nil)
+	_ serveTarget = (*microrec.Router)(nil)
+)
+
+// newServeMux builds the HTTP API around an engine and its serving target
 // (split out for tests). Requests to /predict are coalesced by srv into
-// micro-batches; /stats exposes the server's rolling serving statistics,
-// /metrics the same telemetry in Prometheus text format, and /trace the
-// flight recorder's recent spans as a chrome://tracing JSON document. When
-// withPprof is set the net/http/pprof profiling handlers are mounted under
-// /debug/pprof/.
-func newServeMux(eng *microrec.Engine, srv *microrec.Server, withPprof bool) *http.ServeMux {
+// micro-batches; /stats exposes the target's rolling serving statistics
+// (with a router section when srv is a replicated tier), /metrics the same
+// telemetry in Prometheus text format, and /trace the flight recorder's
+// recent spans as a chrome://tracing JSON document (replica-tagged when
+// routed). When withPprof is set the net/http/pprof profiling handlers are
+// mounted under /debug/pprof/. In routed mode eng is the first replica's
+// engine, used only for /model introspection — replicas are bit-identical
+// by construction.
+func newServeMux(eng *microrec.Engine, srv serveTarget, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	spec := eng.Spec()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -179,8 +200,8 @@ func cmdServe(args []string) error {
 	slaBudget := fs.Duration("sla", 0, "tail-latency budget: validates the window at startup and becomes each request's serving deadline (expired requests are dropped before gather/GEMM; 0 = skip)")
 	queue := fs.Int("queue", 0, "submit queue depth (0 = 4x batch); with -shed this bounds every admitted request's queueing delay")
 	shed := fs.Bool("shed", false, "fail fast with 429 + Retry-After when the submit queue is full, instead of blocking on backpressure")
-	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes (0 = off; with -shards, split across per-shard caches); hit rate and effective lookup latency appear in /stats")
-	shards := fs.Int("shards", 1, "gather shards of the scatter/gather serving tier (1 = single engine); per-shard occupancy, merge-wait and imbalance appear in /stats.cluster")
+	hotCache := fs.Int64("hotcache", 0, "live hot-row cache capacity in bytes per replica (0 = off; with -shards, split across per-shard caches); hit rate and effective lookup latency appear in /stats")
+	topo := addTopologyFlags(fs)
 	traceSample := fs.Int("trace-sample", microrec.DefaultTraceSample, "flight-recorder head sampling: record every Nth request's span (1 = every request, visible at GET /trace)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	applyColdTier := addColdTierFlags(fs, "serve")
@@ -210,8 +231,8 @@ func cmdServe(args []string) error {
 	if *slaBudget < 0 {
 		return fmt.Errorf("serve: -sla must be >= 0 (got %v)", *slaBudget)
 	}
-	if *shards < 1 {
-		return fmt.Errorf("serve: -shards must be >= 1 (got %d)", *shards)
+	if err := topo.validate("serve"); err != nil {
+		return err
 	}
 	if *traceSample < 1 {
 		return fmt.Errorf("serve: -trace-sample must be >= 1 (got %d); use 1 to trace every request", *traceSample)
@@ -227,40 +248,54 @@ func cmdServe(args []string) error {
 	if err := applyColdTier(&opts); err != nil {
 		return err
 	}
-	eng, err := microrec.NewEngine(spec, opts)
-	if err != nil {
-		return err
+	sopts := microrec.ServerOptions{
+		Batching:  microrec.BatchingOptions{MaxBatch: *batch, Window: *window},
+		Pipeline:  microrec.PipelineOptions{Depth: *pipelineDepth, WorkerPool: *workerPool, Workers: *workers},
+		Admission: microrec.AdmissionOptions{QueueDepth: *queue, Shed: *shed, SLA: *slaBudget},
+		Tier:      microrec.TierOptions{Shards: *topo.shards},
+		Trace:     microrec.TraceOptions{Sample: *traceSample},
 	}
-	defer eng.Close()
-	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
-		MaxBatch:      *batch,
-		Window:        *window,
-		Workers:       *workers,
-		WorkerPool:    *workerPool,
-		PipelineDepth: *pipelineDepth,
-		QueueDepth:    *queue,
-		Shed:          *shed,
-		SLA:           *slaBudget,
-		Shards:        *shards,
-		TraceSample:   *traceSample,
-	})
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	if *slaBudget > 0 {
-		if err := srv.ValidateSLA(*slaBudget); err != nil {
-			if maxW, werr := srv.MaxWindowUnderSLA(*slaBudget); werr == nil {
-				return fmt.Errorf("batching window violates the SLA budget (largest feasible window: %v): %w",
-					maxW.Round(time.Microsecond), err)
-			}
-			return fmt.Errorf("batching window violates the SLA budget: %w", err)
+	var (
+		target serveTarget
+		eng    *microrec.Engine
+	)
+	if topo.routed() {
+		rt, first, err := topo.buildRouter(spec, opts, sopts)
+		if err != nil {
+			return err
 		}
-		if worst, expected, err := srv.AdmittedLatencyBounds(); err == nil {
-			log.Printf("window %v validated against SLA budget %v (worst-case admitted %v cache-cold, expected %v)",
-				*window, *slaBudget, worst.Round(time.Microsecond), expected.Round(time.Microsecond))
-		} else {
-			log.Printf("window %v validated against SLA budget %v", *window, *slaBudget)
+		defer rt.Close()
+		target, eng = rt, first
+		if *slaBudget > 0 {
+			log.Printf("window %v, SLA budget %v enforced per request on each replica", *window, *slaBudget)
+		}
+	} else {
+		var err error
+		eng, err = microrec.NewEngine(spec, opts)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		srv, err := microrec.NewServer(eng, sopts)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		target = srv
+		if *slaBudget > 0 {
+			if err := srv.ValidateSLA(*slaBudget); err != nil {
+				if maxW, werr := srv.MaxWindowUnderSLA(*slaBudget); werr == nil {
+					return fmt.Errorf("batching window violates the SLA budget (largest feasible window: %v): %w",
+						maxW.Round(time.Microsecond), err)
+				}
+				return fmt.Errorf("batching window violates the SLA budget: %w", err)
+			}
+			if worst, expected, err := srv.AdmittedLatencyBounds(); err == nil {
+				log.Printf("window %v validated against SLA budget %v (worst-case admitted %v cache-cold, expected %v)",
+					*window, *slaBudget, worst.Round(time.Microsecond), expected.Round(time.Microsecond))
+			} else {
+				log.Printf("window %v validated against SLA budget %v", *window, *slaBudget)
+			}
 		}
 	}
 	cacheNote := ""
@@ -272,14 +307,17 @@ func cmdServe(args []string) error {
 			tier.HotBudgetBytes, tier.TotalBytes, tier.ColdLatencyNS)
 	}
 	if *shed {
-		cacheNote += fmt.Sprintf(", shedding at queue depth %d", srv.Options().QueueDepth)
+		cacheNote += fmt.Sprintf(", shedding at queue depth %d", target.Stats().Admission.QueueCapacity)
 	}
 	drainNote := fmt.Sprintf("pipelined drain, %d planes", *pipelineDepth)
 	if *workerPool {
 		drainNote = fmt.Sprintf("worker pool, %d workers", *workers)
 	}
-	if *shards > 1 {
-		drainNote += fmt.Sprintf(", %d gather shards", *shards)
+	if *topo.shards > 1 {
+		drainNote += fmt.Sprintf(", %d gather shards", *topo.shards)
+	}
+	if topo.routed() {
+		drainNote += fmt.Sprintf(", %d replicas routed %s", *topo.replicas, topo.policy)
 	}
 	endpoints := "POST /predict, GET /model, GET /stats, GET /metrics, GET /trace, GET /healthz"
 	if *pprofOn {
@@ -287,5 +325,5 @@ func cmdServe(args []string) error {
 	}
 	log.Printf("serving %s (%d-bit) on %s — batch %d, window %v, %s%s, tracing 1-in-%d — %s",
 		spec.Name, eng.Config().Precision.Bits, *addr, *batch, *window, drainNote, cacheNote, *traceSample, endpoints)
-	return http.ListenAndServe(*addr, newServeMux(eng, srv, *pprofOn))
+	return http.ListenAndServe(*addr, newServeMux(eng, target, *pprofOn))
 }

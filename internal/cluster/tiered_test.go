@@ -15,9 +15,13 @@ import (
 	"microrec/internal/tieredstore"
 )
 
-// The sharded tier must satisfy the serving layer's tier seam too, so a
-// tiered sharded deployment gets the prefetch pass and the /stats section.
-var _ serving.TieredEngine = (*cluster.Cluster)(nil)
+// The sharded tier must satisfy the serving layer's optional tier
+// capabilities too, so a tiered sharded deployment gets the prefetch pass and
+// the /stats section.
+var (
+	_ serving.Tiered     = (*cluster.Cluster)(nil)
+	_ serving.Prefetcher = (*cluster.Cluster)(nil)
+)
 
 // buildTieredEngine mirrors buildEngine with a manual-sweep cold tier
 // attached (tests drive placement explicitly).

@@ -88,6 +88,10 @@ type Span struct {
 	MergeWaitNS int64 `json:"merge_wait_ns"`
 	// Batch is the size of the micro-batch that carried the request.
 	Batch int32 `json:"batch"`
+	// Replica is the 1-based id of the serving replica that carried the
+	// request when the server runs behind the replicated router tier
+	// (Options.Router.ReplicaID); 0 on an unrouted server.
+	Replica int32 `json:"replica"`
 	// Shards is the scatter width of the gather (0 on a single engine).
 	Shards int32 `json:"shards"`
 	// ColdFaults counts embedding rows the batch's gather read from the
@@ -106,7 +110,7 @@ func (s Span) StageSumNS() int64 {
 }
 
 // spanWords is the fixed word count of an encoded span (one atomic slot).
-const spanWords = 16
+const spanWords = 17
 
 // encode packs the span into the slot word layout. ID is not stored — the
 // claim sequence that selected the slot is the ID, and decode restores it.
@@ -129,6 +133,7 @@ func (s *Span) encode(w *[spanWords]int64) {
 	w[13] = int64(s.Shards)
 	w[14] = int64(s.ColdFaults)
 	w[15] = int64(s.Verdict)
+	w[16] = int64(s.Replica)
 }
 
 func decodeSpan(id uint64, w *[spanWords]int64) Span {
@@ -150,6 +155,7 @@ func decodeSpan(id uint64, w *[spanWords]int64) Span {
 		Shards:      int32(w[13]),
 		ColdFaults:  int32(w[14]),
 		Verdict:     uint8(w[15]),
+		Replica:     int32(w[16]),
 	}
 }
 

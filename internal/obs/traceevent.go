@@ -106,7 +106,9 @@ func SpanEvents(spans []Span) []TraceEvent {
 				Ph:   "X",
 				TS:   ts,
 				Dur:  float64(seg.ns) / 1e3,
-				PID:  0,
+				// One Chrome trace "process" per serving replica: routed
+				// traffic renders as per-replica lanes (pid 0 = unrouted).
+				PID:  int(s.Replica),
 				TID:  seg.tid,
 				Args: map[string]any{"req": s.ID},
 			}
@@ -115,6 +117,9 @@ func SpanEvents(spans []Span) []TraceEvent {
 				ev.Args["stage_sum_us"] = float64(s.StageSumNS()) / 1e3
 				ev.Args["batch"] = s.Batch
 				ev.Args["verdict"] = VerdictName(s.Verdict)
+				if s.Replica > 0 {
+					ev.Args["replica"] = s.Replica
+				}
 				if s.Shards > 0 {
 					ev.Args["shards"] = s.Shards
 					ev.Args["shard_max_us"] = float64(s.ShardMaxNS) / 1e3

@@ -1,0 +1,126 @@
+package router
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/serving"
+	"microrec/internal/tieredstore"
+)
+
+// HotEngine adapts any serving.Engine into a serving.Reloadable one: every
+// seam method delegates through an atomic pointer, and Reload swaps the
+// delegate under live traffic — the in-place model-refresh path
+// Router.Reload drives. The replacement must be timing- and
+// geometry-compatible with the engine it replaces (refreshed parameters, not
+// a different architecture): the server memoises timing reports and sizes
+// planes per batch, and neither is re-derived on reload. A reload takes
+// effect at stage-call granularity — a plane gathered by the old engine may
+// finish its FC stack on the new one, which the compatibility contract makes
+// benign.
+//
+// Capability forwarding: HotEngine always implements the optional Tiered and
+// Prefetcher capabilities, reporting ok=false (and a no-op prefetch) while
+// the current delegate lacks them — the pattern the capability docs on the
+// Engine seam prescribe for wrappers.
+type HotEngine struct {
+	cur atomic.Pointer[engineBox]
+}
+
+// engineBox exists because atomic.Pointer needs a concrete pointee; it pins
+// one delegate.
+type engineBox struct{ eng serving.Engine }
+
+// Compile-time seam checks: the wrapper is a full Engine and carries the
+// Reloadable plus forwarded tier capabilities.
+var (
+	_ serving.Engine     = (*HotEngine)(nil)
+	_ serving.Reloadable = (*HotEngine)(nil)
+	_ serving.Tiered     = (*HotEngine)(nil)
+	_ serving.Prefetcher = (*HotEngine)(nil)
+)
+
+// NewHotEngine wraps an engine for hot reload.
+func NewHotEngine(eng serving.Engine) (*HotEngine, error) {
+	if eng == nil {
+		return nil, errors.New("router: nil engine")
+	}
+	h := &HotEngine{}
+	h.cur.Store(&engineBox{eng: eng})
+	return h, nil
+}
+
+// Reload implements serving.Reloadable: subsequent seam calls hit next. The
+// caller owns the retired engine's teardown (and must keep it alive until
+// in-flight planes drain — in practice until the next server-level quiesce).
+func (h *HotEngine) Reload(next serving.Engine) error {
+	if next == nil {
+		return errors.New("router: reload with nil engine")
+	}
+	h.cur.Store(&engineBox{eng: next})
+	return nil
+}
+
+// Current returns the live delegate.
+func (h *HotEngine) Current() serving.Engine { return h.cur.Load().eng }
+
+// pipeline.StageEngine delegation.
+
+// EnsurePlane implements the Engine seam by delegation.
+func (h *HotEngine) EnsurePlane(s *core.BatchScratch, b int) { h.Current().EnsurePlane(s, b) }
+
+// GatherIntoPlane implements the Engine seam by delegation.
+func (h *HotEngine) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratch) {
+	h.Current().GatherIntoPlane(queries, s)
+}
+
+// DenseFromPlane implements the Engine seam by delegation.
+func (h *HotEngine) DenseFromPlane(b int, s *core.BatchScratch) { h.Current().DenseFromPlane(b, s) }
+
+// TailFromPlane implements the Engine seam by delegation.
+func (h *HotEngine) TailFromPlane(b int, s *core.BatchScratch, dst []float32) {
+	h.Current().TailFromPlane(b, s, dst)
+}
+
+// ValidateQuery implements the Engine seam by delegation.
+func (h *HotEngine) ValidateQuery(q embedding.Query) error { return h.Current().ValidateQuery(q) }
+
+// InferBatchValidated implements the Engine seam by delegation.
+func (h *HotEngine) InferBatchValidated(queries []embedding.Query, dst []float32, scratch *core.BatchScratch) ([]float32, error) {
+	return h.Current().InferBatchValidated(queries, dst, scratch)
+}
+
+// TimingAt implements the Engine seam by delegation.
+func (h *HotEngine) TimingAt(items int, lookupNS float64) (core.TimingReport, error) {
+	return h.Current().TimingAt(items, lookupNS)
+}
+
+// LookupNS implements the Engine seam by delegation.
+func (h *HotEngine) LookupNS() float64 { return h.Current().LookupNS() }
+
+// EffectiveLookupNS implements the Engine seam by delegation.
+func (h *HotEngine) EffectiveLookupNS() float64 { return h.Current().EffectiveLookupNS() }
+
+// HotCacheHitRate implements the Engine seam by delegation.
+func (h *HotEngine) HotCacheHitRate() (float64, bool) { return h.Current().HotCacheHitRate() }
+
+// HotCache implements the Engine seam by delegation.
+func (h *HotEngine) HotCache() (core.HotCacheInfo, bool) { return h.Current().HotCache() }
+
+// Tier forwards the delegate's Tiered capability (ok=false when absent).
+func (h *HotEngine) Tier() (tieredstore.Snapshot, bool) {
+	if te, ok := h.Current().(serving.Tiered); ok {
+		return te.Tier()
+	}
+	return tieredstore.Snapshot{}, false
+}
+
+// PrefetchBatch forwards the delegate's Prefetcher capability (no-op when
+// absent).
+func (h *HotEngine) PrefetchBatch(queries []embedding.Query) {
+	if pf, ok := h.Current().(serving.Prefetcher); ok {
+		pf.PrefetchBatch(queries)
+	}
+}

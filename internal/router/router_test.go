@@ -1,0 +1,736 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"microrec/internal/core"
+	"microrec/internal/embedding"
+	"microrec/internal/loadgen"
+	"microrec/internal/memsim"
+	"microrec/internal/model"
+	"microrec/internal/placement"
+	"microrec/internal/serving"
+	"microrec/internal/workload"
+)
+
+// The router must satisfy the load harness's target seam: that is what lets
+// bench, loadtest and the HTTP mux drive a replicated tier exactly like a
+// single server.
+var _ loadgen.Target = (*Router)(nil)
+
+// testSpec is a small custom model: cheap to materialise per replica, with
+// enough tables/lookups that queries hash well and the hot caches see a
+// non-trivial row space.
+func testSpec() *model.Spec {
+	tables := make([]model.TableSpec, 4)
+	for i := range tables {
+		tables[i] = model.TableSpec{
+			ID:      i,
+			Name:    fmt.Sprintf("rt-t%d", i),
+			Rows:    50000,
+			Dim:     8,
+			Lookups: 2,
+		}
+	}
+	return &model.Spec{Name: "router-test", Tables: tables, DenseDim: 4, Hidden: []int{32, 16, 8}}
+}
+
+// buildEngine assembles a real engine over testSpec, mirroring the cluster
+// test helper. seed controls the materialised parameters: equal seeds give
+// bit-identical engines (the replica homogeneity the tier assumes), distinct
+// seeds model a new parameter snapshot for swap/reload tests.
+func buildEngine(t testing.TB, spec *model.Spec, hotCacheBytes int64, seed int64) *core.Engine {
+	t.Helper()
+	params, err := spec.Materialize(model.MaterializeOptions{Seed: seed, MaxRowsPerTable: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ConfigFor(spec.Name, core.SmallFP16().Precision)
+	cfg.HotCacheBytes = hotCacheBytes
+	plan, err := placement.Plan(spec, memsim.U280(cfg.OnChipBanks), placement.Options{EnableCartesian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Build(params, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func zipfPool(t testing.TB, spec *model.Spec, n int, seed int64) []embedding.Query {
+	t.Helper()
+	gen, err := workload.NewGenerator(spec, workload.Zipf, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := gen.Batch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+func newRouter(t testing.TB, p Policy) *Router {
+	t.Helper()
+	rt, err := New(Options{Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+// fakeEngine mirrors the serving overload tests' deterministic fake: the
+// dense stage sleeps a fixed per-batch service time, so load-policy tests
+// can manufacture slow and fast replicas without depending on host speed.
+type fakeEngine struct {
+	service time.Duration
+	served  atomic.Uint64
+}
+
+func (e *fakeEngine) ValidateQuery(q embedding.Query) error {
+	if len(q) == 0 {
+		return errors.New("fakeEngine: empty query")
+	}
+	return nil
+}
+
+func (e *fakeEngine) EnsurePlane(s *core.BatchScratch, b int)                         {}
+func (e *fakeEngine) GatherIntoPlane(queries []embedding.Query, s *core.BatchScratch) {}
+func (e *fakeEngine) DenseFromPlane(b int, s *core.BatchScratch) {
+	time.Sleep(e.service)
+}
+func (e *fakeEngine) TailFromPlane(b int, s *core.BatchScratch, dst []float32) {
+	e.served.Add(uint64(b))
+	for i := range dst[:b] {
+		dst[i] = 0.5
+	}
+}
+func (e *fakeEngine) InferBatchValidated(queries []embedding.Query, dst []float32, s *core.BatchScratch) ([]float32, error) {
+	time.Sleep(e.service)
+	e.served.Add(uint64(len(queries)))
+	for i := range queries {
+		dst[i] = 0.5
+	}
+	return dst[:len(queries)], nil
+}
+func (e *fakeEngine) TimingAt(items int, lookupNS float64) (core.TimingReport, error) {
+	ns := float64(e.service.Nanoseconds())
+	return core.TimingReport{Items: items, LatencyNS: ns, MakespanNS: ns, LookupNS: lookupNS}, nil
+}
+func (e *fakeEngine) LookupNS() float64                   { return 1000 }
+func (e *fakeEngine) EffectiveLookupNS() float64          { return 1000 }
+func (e *fakeEngine) HotCacheHitRate() (float64, bool)    { return 0, false }
+func (e *fakeEngine) HotCache() (core.HotCacheInfo, bool) { return core.HotCacheInfo{}, false }
+
+var fakeQuery = embedding.Query{[]int64{1}}
+
+func fakeOpts() serving.Options {
+	return serving.Options{
+		Batching:  serving.BatchingOptions{MaxBatch: 4, Window: 50 * time.Microsecond},
+		Pipeline:  serving.PipelineOptions{Depth: 2},
+		Admission: serving.AdmissionOptions{QueueDepth: 64},
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %q, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := New(Options{Policy: "bogus"}); err == nil {
+		t.Fatal("New accepted a bogus policy")
+	}
+}
+
+func TestQueryHashStableAndSpread(t *testing.T) {
+	q := embedding.Query{{1, 2}, {3}, {4, 5}}
+	if queryHash(q) != queryHash(embedding.Query{{1, 2}, {3}, {4, 5}}) {
+		t.Fatal("equal queries hash differently")
+	}
+	if queryHash(q) == queryHash(embedding.Query{{1, 2}, {3}, {4, 6}}) {
+		t.Fatal("distinct queries collide on a trivial perturbation")
+	}
+}
+
+// TestRendezvousMinimalRemap is the property the affinity policy buys from
+// rendezvous hashing: draining one replica re-homes only the keys whose
+// maximum weight was on it; every other key keeps its replica (and so its
+// warm cache).
+func TestRendezvousMinimalRemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ids := []int{1, 2, 3}
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		h := rng.Uint64()
+		home := func(ids []int) int {
+			best, bestW := ids[0], rendezvousWeight(h, ids[0])
+			for _, id := range ids[1:] {
+				if w := rendezvousWeight(h, id); w > bestW {
+					best, bestW = id, w
+				}
+			}
+			return best
+		}
+		before := home(ids)
+		after := home([]int{1, 3})
+		if before != 2 && after != before {
+			t.Fatalf("key %d re-homed %d→%d though replica 2 held neither", h, before, after)
+		}
+		if before == 2 {
+			moved++
+		}
+	}
+	if moved < 400 || moved > 950 {
+		t.Fatalf("replica 2 held %d/2000 keys; want roughly a third", moved)
+	}
+}
+
+func TestRoundRobinSpreadsEvenly(t *testing.T) {
+	rt := newRouter(t, RoundRobin)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Add(&fakeEngine{}, fakeOpts(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := rt.Submit(context.Background(), fakeQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rs := range rt.Stats().Router.PerReplica {
+		if rs.Routed != 100 {
+			t.Fatalf("replica %d routed %d under round-robin; want 100", rs.ID, rs.Routed)
+		}
+	}
+}
+
+// TestLeastLoadedBoundsOccupancyUnderSkew manufactures skew with a 100x
+// service-time gap between two replicas. Least-loaded must shift traffic to
+// the fast replica once the slow one's queue grows, instead of letting the
+// blind half of a round-robin split pile up behind the slow engine.
+func TestLeastLoadedBoundsOccupancyUnderSkew(t *testing.T) {
+	rt := newRouter(t, LeastLoaded)
+	slow := &fakeEngine{service: 10 * time.Millisecond}
+	fast := &fakeEngine{service: 100 * time.Microsecond}
+	slowID, err := rt.Add(slow, fakeOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Add(fast, fakeOpts(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const total = 240
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	maxSlowScore := 0
+	var scoreMu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		// Sample the slow replica's load score while traffic flows: bounded
+		// occupancy is the property, so observe it live, not post-hoc.
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			set := rt.set.Load()
+			if rep := set.find(slowID); rep != nil {
+				s := rep.srv.LoadScore()
+				scoreMu.Lock()
+				if s > maxSlowScore {
+					maxSlowScore = s
+				}
+				scoreMu.Unlock()
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/8; i++ {
+				if _, err := rt.Submit(context.Background(), fakeQuery); err != nil {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d submits failed", n)
+	}
+	slowServed := slow.served.Load()
+	fastServed := fast.served.Load()
+	if fastServed < 3*slowServed {
+		t.Fatalf("least-loaded sent %d to the fast replica vs %d to the slow one; want a strong skew", fastServed, slowServed)
+	}
+	scoreMu.Lock()
+	peak := maxSlowScore
+	scoreMu.Unlock()
+	// The slow replica's backlog must stay bounded well below a full queue:
+	// once one batch is in flight and another is queued its score exceeds
+	// the fast replica's, and routing moves on.
+	if peak > 64 {
+		t.Fatalf("slow replica load score peaked at %d; least-loaded should bound it", peak)
+	}
+}
+
+// TestRoutedBitIdenticalToSingleReplica is the tier's correctness anchor:
+// for every policy and replica count, routing changes only *where* a query
+// runs, never its prediction.
+func TestRoutedBitIdenticalToSingleReplica(t *testing.T) {
+	spec := testSpec()
+	eng := buildEngine(t, spec, 0, 1)
+	pool := zipfPool(t, spec, 96, 3)
+	sopts := serving.Options{
+		Batching: serving.BatchingOptions{MaxBatch: 8, Window: 100 * time.Microsecond},
+	}
+
+	ref, err := serving.New(eng, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, len(pool))
+	for i, q := range pool {
+		res, err := ref.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.CTR
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policy := range Policies() {
+		for replicas := 1; replicas <= 3; replicas++ {
+			t.Run(fmt.Sprintf("%s/replicas=%d", policy, replicas), func(t *testing.T) {
+				rt := newRouter(t, policy)
+				for i := 0; i < replicas; i++ {
+					// The engine is immutable and safely shared: replicas
+					// differ only in serving composition, exactly like
+					// same-seed engines would.
+					if _, err := rt.Add(eng, sopts, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got := make([]float32, len(pool))
+				var wg sync.WaitGroup
+				var failed atomic.Uint64
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := w; i < len(pool); i += 4 {
+							res, err := rt.Submit(context.Background(), pool[i])
+							if err != nil {
+								failed.Add(1)
+								return
+							}
+							got[i] = res.CTR
+						}
+					}(w)
+				}
+				wg.Wait()
+				if n := failed.Load(); n != 0 {
+					t.Fatalf("%d submits failed", n)
+				}
+				for i := range pool {
+					if got[i] != want[i] {
+						t.Fatalf("query %d: routed CTR %v != single-replica CTR %v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// measureHitRate drives a 3-replica tier over a Zipf pool under one policy
+// and returns the post-warmup pooled hit rate. Each replica's hot cache is
+// sized to roughly half the pool's whole row working set: a replica serving
+// the full key space cycles an LRU it cannot hold, while a replica serving
+// an affinity slice holds its share with room to spare — the N·C effect the
+// affinity policy exists to buy.
+func measureHitRate(t *testing.T, policy Policy, spec *model.Spec, pool []embedding.Query, capacity int64) float64 {
+	t.Helper()
+	rt := newRouter(t, policy)
+	for i := 0; i < 3; i++ {
+		eng := buildEngine(t, spec, capacity, 1)
+		if _, err := rt.Add(eng, serving.Options{
+			Batching: serving.BatchingOptions{MaxBatch: 1},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shuffle the pool each pass: with a fixed order, round-robin would see
+	// the same third of the pool on each replica every pass and degenerate
+	// into a static partition, hiding exactly the effect under test.
+	rng := rand.New(rand.NewSource(11))
+	order := rng.Perm(len(pool))
+	run := func(passes int) {
+		for p := 0; p < passes; p++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				if _, err := rt.Submit(context.Background(), pool[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	run(2) // warm up, uncounted
+	rt.MarkHitRateBaseline()
+	run(6)
+	st := rt.Stats()
+	if st.Router == nil {
+		t.Fatal("router stats section missing")
+	}
+	return st.Router.AggregateHitRate
+}
+
+// workingSetBytes probes the pool's whole-row working set: one oversized
+// cache, one pass, read back the used bytes.
+func workingSetBytes(t *testing.T, spec *model.Spec, pool []embedding.Query) int64 {
+	t.Helper()
+	probe := buildEngine(t, spec, 16<<20, 1)
+	if _, err := probe.Infer(pool); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := probe.HotCache()
+	if !ok || info.UsedBytes == 0 {
+		t.Fatal("probe engine has no usable hot cache")
+	}
+	return info.UsedBytes
+}
+
+// TestAffinityBeatsRoundRobinOnZipf is the acceptance property: on a
+// Zipf-skewed workload over 3 replicas, hot-key affinity's aggregate
+// hot-cache hit rate must beat round-robin's — the measured form of the
+// effective N·C cache argument.
+func TestAffinityBeatsRoundRobinOnZipf(t *testing.T) {
+	spec := testSpec()
+	pool := zipfPool(t, spec, 360, 7)
+	capacity := workingSetBytes(t, spec, pool) / 2
+
+	rr := measureHitRate(t, RoundRobin, spec, pool, capacity)
+	aff := measureHitRate(t, Affinity, spec, pool, capacity)
+	t.Logf("aggregate hit rate: round-robin %.3f, affinity %.3f", rr, aff)
+	if aff <= rr+0.05 {
+		t.Fatalf("affinity hit rate %.3f does not beat round-robin %.3f by a visible margin", aff, rr)
+	}
+}
+
+// TestHitRateDeltaAfterPolicySwitch mirrors the loadtest wiring: calibrate
+// under round-robin, mark the baseline, switch to affinity, and read the
+// lift out of the /stats router section.
+func TestHitRateDeltaAfterPolicySwitch(t *testing.T) {
+	spec := testSpec()
+	pool := zipfPool(t, spec, 360, 7)
+	capacity := workingSetBytes(t, spec, pool) / 2
+
+	rt := newRouter(t, RoundRobin)
+	for i := 0; i < 3; i++ {
+		eng := buildEngine(t, spec, capacity, 1)
+		if _, err := rt.Add(eng, serving.Options{
+			Batching: serving.BatchingOptions{MaxBatch: 1},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	order := rng.Perm(len(pool))
+	run := func(passes int) {
+		for p := 0; p < passes; p++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				if _, err := rt.Submit(context.Background(), pool[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	run(4)
+	rt.MarkHitRateBaseline()
+	if err := rt.SetPolicy(Affinity); err != nil {
+		t.Fatal(err)
+	}
+	run(6)
+	st := rt.Stats()
+	rs := st.Router
+	if rs == nil {
+		t.Fatal("router stats section missing")
+	}
+	if rs.Policy != string(Affinity) {
+		t.Fatalf("policy %q after switch", rs.Policy)
+	}
+	if rs.HitRateDelta <= 0.02 {
+		t.Fatalf("hit-rate delta %.3f after switching to affinity; want a visible lift (baseline %.3f, aggregate %.3f)",
+			rs.HitRateDelta, rs.BaselineHitRate, rs.AggregateHitRate)
+	}
+	policies := map[string]uint64{}
+	for _, d := range rs.Decisions {
+		policies[d.Policy] = d.Total
+	}
+	if policies[string(RoundRobin)] == 0 || policies[string(Affinity)] == 0 {
+		t.Fatalf("decision scoreboard %v should carry both phases", policies)
+	}
+}
+
+// TestDrainUnderLiveTraffic is the zero-drop acceptance property: removing a
+// replica mid-traffic must not fail a single submitted request (race-tested;
+// run under -race in CI).
+func TestDrainUnderLiveTraffic(t *testing.T) {
+	rt := newRouter(t, RoundRobin)
+	engines := make([]*fakeEngine, 3)
+	for i := range engines {
+		engines[i] = &fakeEngine{service: 200 * time.Microsecond}
+		if _, err := rt.Add(engines[i], fakeOpts(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perWorker = 250
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	var completed atomic.Uint64
+	start := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				if _, err := rt.Submit(context.Background(), fakeQuery); err != nil {
+					failures.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let traffic build before the drain
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx, 2); err != nil {
+		t.Fatalf("drain under traffic: %v", err)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d submits failed across the drain; want 0 dropped", n)
+	}
+	if got := completed.Load(); got != 6*perWorker {
+		t.Fatalf("completed %d of %d", got, 6*perWorker)
+	}
+	if rt.Replicas() != 2 {
+		t.Fatalf("%d active replicas after drain; want 2", rt.Replicas())
+	}
+	rs := rt.Stats().Router
+	if rs.Drained != 1 {
+		t.Fatalf("drained counter %d; want 1", rs.Drained)
+	}
+	if err := rt.Drain(ctx, 2); !errors.Is(err, ErrUnknownReplica) {
+		t.Fatalf("second drain of replica 2: %v; want ErrUnknownReplica", err)
+	}
+}
+
+// TestSwapReplacesModelUnderTraffic swaps a replica to a new parameter
+// snapshot (different seed) under live traffic: no request fails, the
+// replacement joins before the old replica leaves, and post-swap traffic can
+// hit the new model.
+func TestSwapReplacesModelUnderTraffic(t *testing.T) {
+	spec := testSpec()
+	engA := buildEngine(t, spec, 0, 1)
+	engB := buildEngine(t, spec, 0, 2)
+	pool := zipfPool(t, spec, 32, 5)
+	sopts := serving.Options{Batching: serving.BatchingOptions{MaxBatch: 8, Window: 100 * time.Microsecond}}
+
+	rt := newRouter(t, RoundRobin)
+	oldID, err := rt.Add(engA, sopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := rt.Submit(context.Background(), pool[i%len(pool)]); err != nil {
+				failures.Add(1)
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	newID, err := rt.Swap(ctx, oldID, engB, sopts, nil)
+	if err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d submits failed across the swap", n)
+	}
+	if newID == oldID || rt.Replicas() != 1 {
+		t.Fatalf("swap left ids (%d→%d) and %d replicas", oldID, newID, rt.Replicas())
+	}
+	// Post-swap traffic serves the new model's predictions.
+	res, err := rt.Submit(context.Background(), pool[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := engB.Infer(pool[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CTR != wantRes.Predictions[0] {
+		t.Fatalf("post-swap CTR %v; want new model's %v", res.CTR, wantRes.Predictions[0])
+	}
+}
+
+// TestHotEngineReload exercises the in-place model swap path: a replica
+// whose engine carries the Reloadable capability switches parameter
+// snapshots with no drain and no new server.
+func TestHotEngineReload(t *testing.T) {
+	spec := testSpec()
+	engA := buildEngine(t, spec, 0, 1)
+	engB := buildEngine(t, spec, 0, 2)
+	pool := zipfPool(t, spec, 8, 5)
+
+	hot, err := NewHotEngine(engA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRouter(t, RoundRobin)
+	id, err := rt.Add(hot, serving.Options{Batching: serving.BatchingOptions{MaxBatch: 4, Window: 50 * time.Microsecond}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := rt.Submit(context.Background(), pool[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := engA.Infer(pool[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.CTR != wantA.Predictions[0] {
+		t.Fatalf("pre-reload CTR %v; want %v", before.CTR, wantA.Predictions[0])
+	}
+	if err := rt.Reload(id, engB); err != nil {
+		t.Fatal(err)
+	}
+	after, err := rt.Submit(context.Background(), pool[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := engB.Infer(pool[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CTR != wantB.Predictions[0] {
+		t.Fatalf("post-reload CTR %v; want new model's %v", after.CTR, wantB.Predictions[0])
+	}
+	// A bare engine lacks the capability and must be pointed at Swap.
+	id2, err := rt.Add(engA, serving.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Reload(id2, engB); err == nil || !strings.Contains(err.Error(), "Reloadable") {
+		t.Fatalf("reload of a non-reloadable engine: %v", err)
+	}
+}
+
+// TestRouterTraceCarriesReplicaIDs: every span of a routed tier names the
+// replica that served it, and the merged stream is start-ordered.
+func TestRouterTraceCarriesReplicaIDs(t *testing.T) {
+	rt := newRouter(t, RoundRobin)
+	opts := fakeOpts()
+	opts.Trace = serving.TraceOptions{Sample: 1}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Add(&fakeEngine{}, opts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := rt.Submit(context.Background(), fakeQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := rt.Trace(0, time.Time{})
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	seen := map[int32]int{}
+	for i, sp := range spans {
+		if sp.Replica < 1 || sp.Replica > 2 {
+			t.Fatalf("span %d carries replica %d; want 1 or 2", i, sp.Replica)
+		}
+		seen[sp.Replica]++
+		if i > 0 && spans[i-1].Start > sp.Start {
+			t.Fatalf("merged trace out of order at %d", i)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("spans only from replicas %v; want both", seen)
+	}
+}
+
+func TestRouterWriteMetrics(t *testing.T) {
+	rt := newRouter(t, Affinity)
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Add(&fakeEngine{}, fakeOpts(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := rt.Submit(context.Background(), fakeQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := rt.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"microrec_router_replicas 2",
+		`microrec_router_decisions_total{policy="affinity"} 20`,
+		`microrec_router_replica_routed_total{replica="1"}`,
+		"microrec_router_aggregate_hit_rate",
+		`policy="affinity"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSubmitWithNoReplicas(t *testing.T) {
+	rt := newRouter(t, RoundRobin)
+	if _, err := rt.Submit(context.Background(), fakeQuery); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("submit on empty tier: %v", err)
+	}
+}

@@ -4,7 +4,7 @@
 // drained through the staged pipeline executor — gather, dense GEMM and
 // tail/response stages overlapped over a ring of batch planes — with
 // per-request response futures. A flat engine worker pool remains available
-// as a fallback mode (Options.WorkerPool).
+// as a fallback mode (Options.Pipeline.WorkerPool).
 //
 // This is the serving seam the paper argues for (§2.3): per-query serving —
 // one synchronous inference per HTTP request, the TensorFlow-Serving
@@ -25,7 +25,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,12 +58,12 @@ var ErrServerClosed = errors.New("serving: server closed")
 var ErrInvalidQuery = errors.New("serving: invalid query")
 
 // ErrOverloaded is the fast-fail shed path: Submit returns it immediately
-// when Options.Shed is set and the bounded submit queue is full. Callers
+// when Options.Admission.Shed is set and the bounded submit queue is full. Callers
 // should back off for about Server.RetryAfter before retrying (the HTTP
 // layer maps this to 429 with a Retry-After header).
 var ErrOverloaded = errors.New("serving: overloaded, submit queue full")
 
-// ErrExpired resolves requests whose serving deadline (Options.SLA, or an
+// ErrExpired resolves requests whose serving deadline (Options.Admission.SLA, or an
 // earlier context deadline) passed while they were still queued: the batch
 // former drops them at plane-fill time instead of spending gather and GEMM
 // cycles on an answer nobody is waiting for.
@@ -76,6 +75,12 @@ var ErrExpired = errors.New("serving: deadline expired before service")
 // and the timing model behind SLA admission and per-batch reports.
 // *core.Engine implements it; overload tests substitute deterministic slow
 // engines to saturate the queue without depending on host speed.
+//
+// Engine is the mandatory seam. Engines may additionally implement the named
+// optional capabilities declared in options.go — Tiered and Prefetcher (tiered
+// backing store + cold-row prefetch), Reloadable (hot model swap) — which the
+// server and the replicated router tier discover by interface assertion and
+// engage only when present.
 type Engine interface {
 	pipeline.StageEngine
 	// ValidateQuery checks a query's shape and index ranges at admission.
@@ -96,140 +101,14 @@ type Engine interface {
 	HotCache() (core.HotCacheInfo, bool)
 }
 
-// TieredEngine is the optional seam an engine with a tiered backing store
-// (Config.ColdTier) grows: a tier snapshot for /stats and the cold-row
-// prefetch pass the drains run at plane-fill time, so a cold row's modeled
-// fault is absorbed while filling that plane only instead of serialising
-// into the gather. It is type-asserted rather than folded into Engine so
-// the overload tests' fake engines (and any all-DRAM deployment) need not
-// implement it. *core.Engine and *cluster.Cluster both satisfy it; the
-// server only engages the hooks when Tier reports an attached store.
-type TieredEngine interface {
-	// Tier snapshots the tiered backing store; ok is false on an all-DRAM
-	// engine.
-	Tier() (tieredstore.Snapshot, bool)
-	// PrefetchBatch touches the cold rows a batch will gather.
-	PrefetchBatch(queries []embedding.Query)
-}
-
-// Options configures a Server. The zero value gets sensible defaults.
-type Options struct {
-	// MaxBatch is the flush size: a forming batch is dispatched as soon as
-	// it holds this many queries. Default 64.
-	MaxBatch int
-	// Window is the deadline flush: a forming batch is dispatched at most
-	// this long after its first query arrived, full or not. Default 200µs.
-	// (For per-query serving set MaxBatch to 1; the size flush then fires
-	// on every submit and the window never starts.)
-	Window time.Duration
-	// Workers is the number of engine workers draining batches in the
-	// worker-pool fallback mode (unused by the pipelined drain, which owns
-	// one goroutine per stage). Default GOMAXPROCS.
-	Workers int
-	// QueueDepth is the capacity of the submit queue (backpressure bound).
-	// Default 4*MaxBatch.
-	QueueDepth int
-	// StatsWindow is the number of recent queries retained for the rolling
-	// latency statistics. Default 4096.
-	StatsWindow int
-	// WorkerPool selects the flat worker-pool drain (each batch runs
-	// gather + GEMM monolithically on one of Workers goroutines) instead of
-	// the default staged pipeline executor.
-	WorkerPool bool
-	// PipelineDepth is the batch-plane ring size of the pipelined drain:
-	// the bound on micro-batches in flight across the gather, GEMM and tail
-	// stages. Minimum 2 (overlap needs two planes). Default 3 — one plane
-	// per stage. Ignored in worker-pool mode.
-	PipelineDepth int
-	// SLA, when positive, gives every request a serving deadline of SLA
-	// after its submit time (tightened by an earlier context deadline).
-	// Requests still queued when their deadline passes are dropped at
-	// batch-formation time — no gather or GEMM is spent on them — and fail
-	// with ErrExpired. Zero disables server-side deadlines; a request's own
-	// context deadline is still honoured at batch formation.
-	SLA time.Duration
-	// Shed makes Submit fail fast with ErrOverloaded when the submit queue
-	// is full, instead of blocking on backpressure — the admission-control
-	// posture for open-loop traffic, where blocking just moves the queue
-	// into the clients. Combine with QueueDepth to bound the worst-case
-	// queueing delay of every admitted request.
-	Shed bool
-	// Shards, when > 1, runs the sharded serving tier: the engine's
-	// embedding tables are partitioned across that many gather shards
-	// (placement's LPT shard assignment), every micro-batch is scattered to
-	// the shards and their partial planes merged before the FC stack runs
-	// once — bit-identical to single-engine service by construction. The
-	// server wraps the engine in an internal/cluster coordinator it owns
-	// (requires a *core.Engine or a caller-built *cluster.Cluster); SLA
-	// admission then uses the tier's max-over-shards lookup bound, and
-	// /stats gains a "cluster" section. 0 or 1 serves on the engine
-	// directly.
-	Shards int
-	// TraceSample is the flight recorder's head-sampling rate: one request
-	// in TraceSample is recorded as a full stage-decomposition span
-	// (readable via GET /trace or Server.Trace). 1 records every request;
-	// default DefaultTraceSample (8). The recorder is always on — an
-	// unsampled request pays a single atomic increment.
-	TraceSample int
-}
-
-// withDefaults returns o with zero fields replaced by defaults.
-func (o Options) withDefaults() Options {
-	if o.MaxBatch == 0 {
-		o.MaxBatch = 64
-	}
-	if o.Window == 0 {
-		o.Window = 200 * time.Microsecond
-	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.QueueDepth == 0 {
-		o.QueueDepth = 4 * o.MaxBatch
-	}
-	if o.StatsWindow == 0 {
-		o.StatsWindow = 4096
-	}
-	if o.PipelineDepth == 0 {
-		o.PipelineDepth = 3
-	}
-	if o.TraceSample == 0 {
-		o.TraceSample = DefaultTraceSample
-	}
-	return o
-}
-
-// Validate checks the options after defaulting.
-func (o Options) Validate() error {
-	if o.MaxBatch < 1 {
-		return fmt.Errorf("serving: max batch %d", o.MaxBatch)
-	}
-	if o.Window < 0 {
-		return fmt.Errorf("serving: negative window %v", o.Window)
-	}
-	if o.Workers < 1 {
-		return fmt.Errorf("serving: %d workers", o.Workers)
-	}
-	if o.QueueDepth < 1 {
-		return fmt.Errorf("serving: queue depth %d", o.QueueDepth)
-	}
-	if o.StatsWindow < 1 {
-		return fmt.Errorf("serving: stats window %d", o.StatsWindow)
-	}
-	if o.SLA < 0 {
-		return fmt.Errorf("serving: negative SLA %v", o.SLA)
-	}
-	if !o.WorkerPool && o.PipelineDepth < 2 {
-		return fmt.Errorf("serving: pipeline depth %d (need >= 2 planes; use WorkerPool for the flat drain)", o.PipelineDepth)
-	}
-	if o.Shards < 0 {
-		return fmt.Errorf("serving: shard count %d", o.Shards)
-	}
-	if o.TraceSample < 1 {
-		return fmt.Errorf("serving: trace sample %d (1 records every request)", o.TraceSample)
-	}
-	return nil
-}
+// Compile-time capability checks: the production engine implements the
+// optional tier capabilities explicitly (the sharded tier's twin assertions
+// live in internal/cluster's tests — serving cannot import cluster's test
+// package without a cycle).
+var (
+	_ Tiered     = (*core.Engine)(nil)
+	_ Prefetcher = (*core.Engine)(nil)
+)
 
 // Result is one query's response: the prediction plus the modeled
 // accelerator latency and the observed serving-side latency.
@@ -257,7 +136,7 @@ type request struct {
 	// burn gather/GEMM cycles.
 	ctx context.Context
 	// deadline is the serving deadline (zero = none): the earlier of
-	// enq+Options.SLA and the context deadline.
+	// enq+Options.Admission.SLA and the context deadline.
 	deadline time.Time
 	done     chan outcome // buffered(1): workers never block on abandoned waiters
 	// sampled marks the request as flight-recorded (decided once at Submit);
@@ -303,16 +182,22 @@ type Server struct {
 	// pipe is the staged executor of the default pipelined drain; nil in
 	// worker-pool mode.
 	pipe *pipeline.Executor
-	// clu is the sharded tier coordinator when Options.Shards > 1 (it is
+	// clu is the sharded tier coordinator when Options.Tier.Shards > 1 (it is
 	// also the server's eng); ownsCluster marks the one New built itself,
 	// which Close must stop after the drain has emptied.
 	clu         *cluster.Cluster
 	ownsCluster bool
-	// tiered is non-nil when the engine carries a tiered backing store: the
-	// drains run its cold-row prefetch pass at plane-fill time and /stats
-	// gains a "tiers" section.
-	tiered TieredEngine
-	wg     sync.WaitGroup
+	// tiered is non-nil when the engine's Tiered capability reports an
+	// attached backing store (/stats gains a "tiers" section); prefetch is
+	// the matching Prefetcher capability, engaged alongside it so the drains
+	// run the cold-row prefetch pass at plane-fill time.
+	tiered   Tiered
+	prefetch Prefetcher
+	// replica is this server's 1-based id inside the replicated router tier
+	// (Options.Router.ReplicaID), stamped on every flight-recorder span;
+	// 0 on an unrouted server.
+	replica int32
+	wg      sync.WaitGroup
 
 	// Admission counters (see AdmissionStats).
 	shed          atomic.Uint64
@@ -373,14 +258,14 @@ func New(eng Engine, opts Options) (*Server, error) {
 		clu         *cluster.Cluster
 		ownsCluster bool
 	)
-	if opts.Shards > 1 {
+	if opts.Tier.Shards > 1 {
 		switch e := eng.(type) {
 		case *cluster.Cluster:
 			// Caller-built tier: serve on it and surface its stats, but the
 			// caller keeps ownership (and Close responsibility). Its shard
 			// planes must fit this server's batches.
-			if cap := e.Options().MaxBatch; cap < opts.MaxBatch {
-				return nil, fmt.Errorf("serving: cluster plane capacity %d below MaxBatch %d", cap, opts.MaxBatch)
+			if cap := e.Options().MaxBatch; cap < opts.Batching.MaxBatch {
+				return nil, fmt.Errorf("serving: cluster plane capacity %d below MaxBatch %d", cap, opts.Batching.MaxBatch)
 			}
 			clu = e
 		case *core.Engine:
@@ -388,13 +273,13 @@ func New(eng Engine, opts Options) (*Server, error) {
 			// pipelined drain holds PipelineDepth planes, the worker pool
 			// runs Workers batches — one partial per in-flight batch, plus
 			// headroom so a shard can gather ahead of a straggling merge.
-			ringDepth := opts.PipelineDepth
-			if opts.WorkerPool {
-				ringDepth = opts.Workers + 1
+			ringDepth := opts.Pipeline.Depth
+			if opts.Pipeline.WorkerPool {
+				ringDepth = opts.Pipeline.Workers + 1
 			}
 			c, err := cluster.New(e, cluster.Options{
-				Shards:    opts.Shards,
-				MaxBatch:  opts.MaxBatch,
+				Shards:    opts.Tier.Shards,
+				MaxBatch:  opts.Batching.MaxBatch,
 				RingDepth: ringDepth,
 			})
 			if err != nil {
@@ -404,7 +289,7 @@ func New(eng Engine, opts Options) (*Server, error) {
 			clu = c
 			ownsCluster = true
 		default:
-			return nil, fmt.Errorf("serving: Options.Shards needs a *core.Engine or *cluster.Cluster (got %T)", eng)
+			return nil, fmt.Errorf("serving: Options.Tier.Shards needs a *core.Engine or *cluster.Cluster (got %T)", eng)
 		}
 	}
 	s := &Server{
@@ -412,35 +297,41 @@ func New(eng Engine, opts Options) (*Server, error) {
 		opts:        opts,
 		clu:         clu,
 		ownsCluster: ownsCluster,
-		submit:      make(chan *request, opts.QueueDepth),
-		batches:     make(chan []*request, 2*opts.Workers),
+		submit:      make(chan *request, opts.Admission.QueueDepth),
+		batches:     make(chan []*request, 2*opts.Pipeline.Workers),
 		// Latencies span µs (warm single-query) to seconds (overload tails);
 		// 1% relative error over [1, 10^7] µs.
 		latencyHist: metrics.NewHistogram(0.01, 1e7),
-		latencyUS:   metrics.NewRolling(opts.StatsWindow),
-		occupancy:   metrics.NewRolling(opts.StatsWindow),
-		rec:         obs.NewRecorder(traceRingSize, opts.TraceSample),
+		latencyUS:   metrics.NewRolling(opts.Batching.StatsWindow),
+		occupancy:   metrics.NewRolling(opts.Batching.StatsWindow),
+		rec:         obs.NewRecorder(traceRingSize, opts.Trace.Sample),
 		buildInfo:   obs.ReadBuild(kernels.Features()),
 		timingCache: make(map[timingKey]core.TimingReport),
 	}
-	// The assertion runs on the possibly cluster-wrapped engine so the
-	// sharded tier's delegating hooks are the ones engaged.
-	if te, ok := eng.(TieredEngine); ok {
+	// The capability assertions run on the possibly cluster-wrapped engine so
+	// the sharded tier's delegating hooks are the ones engaged. Both hooks
+	// key off the Tiered snapshot reporting an attached store: an all-DRAM
+	// engine pays no prefetch pass even if it implements Prefetcher.
+	if te, ok := eng.(Tiered); ok {
 		if _, attached := te.Tier(); attached {
 			s.tiered = te
+			if pf, ok := eng.(Prefetcher); ok {
+				s.prefetch = pf
+			}
 		}
 	}
-	if opts.WorkerPool {
-		s.wg.Add(1 + opts.Workers)
+	s.replica = int32(opts.Router.ReplicaID)
+	if opts.Pipeline.WorkerPool {
+		s.wg.Add(1 + opts.Pipeline.Workers)
 		go s.batcher()
-		for i := 0; i < opts.Workers; i++ {
+		for i := 0; i < opts.Pipeline.Workers; i++ {
 			go s.worker()
 		}
 		return s, nil
 	}
 	pipe, err := pipeline.New(eng, pipeline.Options{
-		Depth:    opts.PipelineDepth,
-		MaxBatch: opts.MaxBatch,
+		Depth:    opts.Pipeline.Depth,
+		MaxBatch: opts.Batching.MaxBatch,
 		Deliver:  s.deliver,
 		Prepare:  s.prepare,
 	})
@@ -462,9 +353,9 @@ func (s *Server) Options() Options { return s.opts }
 
 // Submit enqueues one query and blocks until its micro-batch has been
 // served, the context is cancelled, or the server closes. Malformed queries
-// are rejected immediately without joining a batch. With Options.Shed set it
+// are rejected immediately without joining a batch. With Options.Admission.Shed set it
 // instead fails fast with ErrOverloaded when the submit queue is full; with
-// a serving deadline (Options.SLA or a context deadline) it fails with
+// a serving deadline (Options.Admission.SLA or a context deadline) it fails with
 // ErrExpired if the deadline passes before the request reaches a plane.
 func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) {
 	if err := s.eng.ValidateQuery(q); err != nil {
@@ -472,8 +363,8 @@ func (s *Server) Submit(ctx context.Context, q embedding.Query) (Result, error) 
 	}
 	req := &request{q: q, ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
 	req.sampled = s.rec.Sample()
-	if s.opts.SLA > 0 {
-		req.deadline = req.enq.Add(s.opts.SLA)
+	if s.opts.Admission.SLA > 0 {
+		req.deadline = req.enq.Add(s.opts.Admission.SLA)
 	}
 	if d, ok := ctx.Deadline(); ok && (req.deadline.IsZero() || d.Before(req.deadline)) {
 		req.deadline = d
@@ -514,7 +405,7 @@ func (s *Server) enqueue(ctx context.Context, req *request) error {
 	s.mu.RUnlock()
 	defer s.accepting.Done()
 
-	if s.opts.Shed {
+	if s.opts.Admission.Shed {
 		select {
 		case s.submit <- req:
 			return nil
@@ -524,6 +415,7 @@ func (s *Server) enqueue(ctx context.Context, req *request) error {
 				s.rec.Record(obs.Span{
 					Start:      req.enq.UnixNano(),
 					EndToEndNS: int64(time.Since(req.enq)),
+					Replica:    s.replica,
 					Verdict:    obs.VerdictShed,
 				})
 			}
@@ -578,7 +470,7 @@ func (s *Server) Close() error {
 // to MaxBatch. The bool is false once the submit channel is closed and
 // empty.
 func (s *Server) drainQueued(pending []*request) ([]*request, bool) {
-	for len(pending) < s.opts.MaxBatch {
+	for len(pending) < s.opts.Batching.MaxBatch {
 		select {
 		case req, ok := <-s.submit:
 			if !ok {
@@ -641,10 +533,10 @@ func (s *Server) batcher() {
 				return
 			}
 			switch {
-			case len(pending) >= s.opts.MaxBatch:
+			case len(pending) >= s.opts.Batching.MaxBatch:
 				flush()
 			case timerC == nil:
-				timer = time.NewTimer(s.opts.Window)
+				timer = time.NewTimer(s.opts.Batching.Window)
 				timerC = timer.C
 			}
 		case <-timerC:
@@ -691,6 +583,7 @@ func (s *Server) resolveExpired(r *request, cutoff time.Time) error {
 		sp := obs.Span{
 			Start:      r.enq.UnixNano(),
 			EndToEndNS: int64(now.Sub(r.enq)),
+			Replica:    s.replica,
 			Verdict:    verdict,
 		}
 		// A dropped request's whole life is queue + batch wait: no stage was
@@ -734,8 +627,8 @@ func (s *Server) dropExpired(batch []*request) []*request {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var scratch core.BatchScratch
-	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
-	preds := make([]float32, s.opts.MaxBatch)
+	queries := make([]embedding.Query, 0, s.opts.Batching.MaxBatch)
+	preds := make([]float32, s.opts.Batching.MaxBatch)
 	for batch := range s.batches {
 		batch = s.dropExpired(batch)
 		if len(batch) == 0 {
@@ -745,8 +638,8 @@ func (s *Server) worker() {
 		for _, r := range batch {
 			queries = append(queries, r.q)
 		}
-		if s.tiered != nil {
-			s.tiered.PrefetchBatch(queries)
+		if s.prefetch != nil {
+			s.prefetch.PrefetchBatch(queries)
 		}
 		var bt batchTrace
 		bt.serviceStart = time.Now()
@@ -804,7 +697,7 @@ type planeBatch struct {
 // free plane under backpressure, and requests keep aging through that wait.
 func (s *Server) dispatcher() {
 	defer s.wg.Done()
-	queries := make([]embedding.Query, 0, s.opts.MaxBatch)
+	queries := make([]embedding.Query, 0, s.opts.Batching.MaxBatch)
 	for batch := range s.batches {
 		queries = queries[:0]
 		for _, r := range batch {
@@ -839,8 +732,8 @@ func (s *Server) prepare(payload interface{}, queries []embedding.Query) []embed
 	// commits: the prefetch fans the plane's cold rows out here, so a cold
 	// row's modeled fault stalls only this plane's fill while the GEMM stage
 	// keeps draining earlier planes.
-	if s.tiered != nil && len(kept) > 0 {
-		s.tiered.PrefetchBatch(kept)
+	if s.prefetch != nil && len(kept) > 0 {
+		s.prefetch.PrefetchBatch(kept)
 	}
 	return kept
 }
@@ -905,6 +798,7 @@ func (s *Server) recordSpans(batch []*request, bt *batchTrace, now time.Time, er
 			Start:      r.enq.UnixNano(),
 			EndToEndNS: int64(now.Sub(r.enq)),
 			Batch:      int32(len(batch)),
+			Replica:    s.replica,
 			Verdict:    verdict,
 		}
 		flushed := r.flushed
@@ -947,6 +841,56 @@ func (s *Server) recordSpans(batch []*request, bt *batchTrace, now time.Time, er
 // it is non-zero — the data behind GET /trace.
 func (s *Server) Trace(last int, since time.Time) []obs.Span {
 	return s.rec.Snapshot(last, since)
+}
+
+// QueueLen is the submit queue's current occupancy — the queueing half of the
+// router's least-loaded score. One channel-length read; safe at any rate.
+func (s *Server) QueueLen() int { return len(s.submit) }
+
+// InFlightBatches counts micro-batches dispatched but not yet delivered: the
+// dispatch channel's backlog plus, in pipelined mode, the executor's occupied
+// planes. (The worker pool exposes no in-service count; its dispatch backlog
+// alone carries the signal.)
+func (s *Server) InFlightBatches() int {
+	n := len(s.batches)
+	if s.pipe != nil {
+		n += s.pipe.InFlight()
+	}
+	return n
+}
+
+// LoadScore is the router's least-loaded scoring input, in queued-request
+// units: the submit queue's occupancy plus the in-flight batches weighted by
+// the flush size (a dispatched batch represents up to MaxBatch requests the
+// replica has committed to serve before a newly routed one).
+//
+//	score = QueueLen + MaxBatch · InFlightBatches
+func (s *Server) LoadScore() int {
+	return s.QueueLen() + s.opts.Batching.MaxBatch*s.InFlightBatches()
+}
+
+// LoadCapacity is the LoadScore at which the replica is fully occupied —
+// submit queue full and every dispatch slot and plane (or pool worker)
+// holding a full batch. LoadScore/LoadCapacity is the occupancy figure the
+// /stats router section reports per replica.
+func (s *Server) LoadCapacity() int {
+	inFlight := cap(s.batches)
+	if s.pipe != nil {
+		inFlight += s.opts.Pipeline.Depth
+	}
+	return s.opts.Admission.QueueDepth + s.opts.Batching.MaxBatch*inFlight
+}
+
+// HotCacheCounts reports the engine's live hot-row cache lifetime hit/miss
+// counters; ok is false without a cache. The router's affinity hit-rate
+// baseline needs the raw counters — a rate alone cannot be windowed into a
+// since-mark delta.
+func (s *Server) HotCacheCounts() (hits, misses int64, ok bool) {
+	info, ok := s.eng.HotCache()
+	if !ok {
+		return 0, 0, false
+	}
+	return info.Hits, info.Misses, true
 }
 
 // BuildInfo returns the binary's build provenance as surfaced in /stats.
@@ -1032,12 +976,77 @@ type BuildInfo = obs.BuildInfo
 // arrivals and recorded spans.
 type TraceStats = obs.Stats
 
+// ReplicaStats is one replica's row in the /stats "router" section. The
+// routing counters come from the router's scoreboard; the serving figures are
+// the replica's own Stats condensed to the numbers a routing decision (or a
+// capacity dashboard) reads.
+type ReplicaStats struct {
+	// ID is the replica's 1-based id (Span.Replica on its traces).
+	ID int `json:"id"`
+	// State is "active", "draining" or "drained".
+	State string `json:"state"`
+	// Routed counts requests the router sent to this replica; InFlight is
+	// the number currently between route and completion.
+	Routed   uint64 `json:"routed"`
+	InFlight int64  `json:"in_flight"`
+	// QueueDepth and PipelineInFlight are the live load-score inputs
+	// (Server.QueueLen, Server.InFlightBatches); LoadScore combines them and
+	// Occupancy normalises the score by the replica's LoadCapacity.
+	QueueDepth       int     `json:"queue_depth"`
+	PipelineInFlight int     `json:"pipeline_in_flight"`
+	LoadScore        int     `json:"load_score"`
+	Occupancy        float64 `json:"occupancy"`
+	// Queries/QPS/P99US echo the replica's own rolling serving stats.
+	Queries uint64  `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P99US   float64 `json:"p99_us"`
+	// HitRate is the replica's live hot-row cache hit rate (0 without a
+	// cache) — the per-replica view behind the affinity lift.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// PolicyDecisionStats counts one policy's routing decisions. Every policy the
+// router has used appears, so a policy switch mid-run (the loadtest affinity
+// comparison does this) leaves both policies' volumes visible.
+type PolicyDecisionStats struct {
+	Policy string `json:"policy"`
+	// Total is the lifetime decision count; PerSec the rolling decision
+	// rate over the router's stats window.
+	Total  uint64  `json:"total"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// RouterStats is the /stats "router" section: the replicated tier's routing
+// scoreboard. It is populated by internal/router's merged Stats — the Server
+// itself never fills Stats.Router (an unrouted server reports none).
+type RouterStats struct {
+	// Policy is the active routing policy ("round-robin", "least-loaded",
+	// "affinity"); Replicas the active replica count.
+	Policy   string `json:"policy"`
+	Replicas int    `json:"replicas"`
+	// Drained counts replicas removed (or swapped) under live traffic.
+	Drained uint64 `json:"drained"`
+	// Decisions breaks routing decisions down per policy.
+	Decisions []PolicyDecisionStats `json:"decisions"`
+	// PerReplica is the per-replica scoreboard, ordered by replica id.
+	PerReplica []ReplicaStats `json:"per_replica"`
+	// AggregateHitRate is the replicas' pooled hot-cache hit rate
+	// (sum hits / sum lookups). BaselineHitRate and HitRateDelta are
+	// populated once a baseline mark is set (Router.MarkHitRateBaseline):
+	// baseline is the pooled rate before the mark, aggregate then covers
+	// only post-mark traffic, and the delta is their difference — the
+	// affinity lift measurement.
+	AggregateHitRate float64 `json:"aggregate_hit_rate"`
+	BaselineHitRate  float64 `json:"baseline_hit_rate"`
+	HitRateDelta     float64 `json:"hit_rate_delta"`
+}
+
 // AdmissionStats is the /stats view of the admission gate: current queue
 // pressure, the shed and drop counters, and the server's own estimate of its
 // knee — the offered load beyond which it starts shedding.
 type AdmissionStats struct {
 	// QueueDepth is the submit queue's current occupancy; QueueCapacity is
-	// its bound (Options.QueueDepth).
+	// its bound (Options.Admission.QueueDepth).
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	// Shedding reports whether the fast-fail shed path is enabled.
@@ -1085,7 +1094,7 @@ type Stats struct {
 	// Pipeline reports the staged executor when the server runs the
 	// pipelined drain (nil in worker-pool mode).
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
-	// Cluster reports the sharded tier when Options.Shards > 1 (nil on a
+	// Cluster reports the sharded tier when Options.Tier.Shards > 1 (nil on a
 	// single engine).
 	Cluster *ClusterStats `json:"cluster,omitempty"`
 	// HotCache reports the engine's live hot-row cache when one is
@@ -1094,6 +1103,10 @@ type Stats struct {
 	// Tiers reports the tiered backing store when one is attached (nil on
 	// all-DRAM engines).
 	Tiers *TierStats `json:"tiers,omitempty"`
+	// Router reports the replicated router tier when the stats come from a
+	// router-merged snapshot (internal/router fills it; a Server's own Stats
+	// never does — nil on an unrouted server).
+	Router *RouterStats `json:"router,omitempty"`
 	// Trace reports the flight recorder: ring size, head-sampling rate,
 	// arrivals and recorded spans (the spans themselves are on /trace).
 	Trace TraceStats `json:"trace"`
@@ -1120,9 +1133,9 @@ func (s *Server) Stats() Stats {
 	occ := s.occupancy.Snapshot(now)
 	st := Stats{
 		Mode:     s.Mode(),
-		MaxBatch: s.opts.MaxBatch,
-		WindowUS: float64(s.opts.Window) / float64(time.Microsecond),
-		Workers:  s.opts.Workers,
+		MaxBatch: s.opts.Batching.MaxBatch,
+		WindowUS: float64(s.opts.Batching.Window) / float64(time.Microsecond),
+		Workers:  s.opts.Pipeline.Workers,
 		Queries:  lat.Total,
 		Batches:  occ.Total,
 		QPS:      lat.RatePerSec,
@@ -1139,9 +1152,9 @@ func (s *Server) Stats() Stats {
 		BuildInfo:     s.buildInfo,
 		Admission: AdmissionStats{
 			QueueDepth:      len(s.submit),
-			QueueCapacity:   s.opts.QueueDepth,
-			Shedding:        s.opts.Shed,
-			SLAMS:           float64(s.opts.SLA) / float64(time.Millisecond),
+			QueueCapacity:   s.opts.Admission.QueueDepth,
+			Shedding:        s.opts.Admission.Shed,
+			SLAMS:           float64(s.opts.Admission.SLA) / float64(time.Millisecond),
 			Shed:            s.shed.Load(),
 			DeadlineDrops:   s.deadlineDrops.Load(),
 			CancelDrops:     s.cancelDrops.Load(),
@@ -1226,7 +1239,7 @@ func (s *Server) CapacityQPS() float64 {
 	if ns <= 0 {
 		return 0
 	}
-	return float64(s.opts.MaxBatch) * 1e9 / ns
+	return float64(s.opts.Batching.MaxBatch) * 1e9 / ns
 }
 
 // RetryAfter is the backoff hint a shedding server hands rejected clients:
@@ -1238,7 +1251,7 @@ func (s *Server) RetryAfter() time.Duration {
 	if ns := s.predictedIntervalNS(); ns > 0 {
 		return time.Duration(ns)
 	}
-	if rep, err := s.coldTiming(s.opts.MaxBatch); err == nil && rep.MakespanNS > 0 {
+	if rep, err := s.coldTiming(s.opts.Batching.MaxBatch); err == nil && rep.MakespanNS > 0 {
 		return time.Duration(rep.MakespanNS)
 	}
 	return time.Millisecond
@@ -1252,11 +1265,11 @@ func (s *Server) RetryAfter() time.Duration {
 // cold hot-row cache: admission must hold even before the cache warms (and
 // after any invalidation empties it).
 func (s *Server) ValidateSLA(budget time.Duration) error {
-	rep, err := s.coldTiming(s.opts.MaxBatch)
+	rep, err := s.coldTiming(s.opts.Batching.MaxBatch)
 	if err != nil {
 		return err
 	}
-	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
+	windowMS := float64(s.opts.Batching.Window) / float64(time.Millisecond)
 	budgetMS := float64(budget) / float64(time.Millisecond)
 	return sla.ValidateAdmittedWindow(windowMS, rep.MakespanNS/1e6, budgetMS, s.backlogBatches(), s.drainWorkers())
 }
@@ -1267,15 +1280,15 @@ func (s *Server) ValidateSLA(budget time.Duration) error {
 // lookup latency — identical without a hot-row cache, and an increasingly
 // tighter pair as the cache warms.
 func (s *Server) AdmittedLatencyBounds() (worst, expected time.Duration, err error) {
-	cold, err := s.coldTiming(s.opts.MaxBatch)
+	cold, err := s.coldTiming(s.opts.Batching.MaxBatch)
 	if err != nil {
 		return 0, 0, err
 	}
-	warm, err := s.timing(s.opts.MaxBatch)
+	warm, err := s.timing(s.opts.Batching.MaxBatch)
 	if err != nil {
 		return 0, 0, err
 	}
-	windowMS := float64(s.opts.Window) / float64(time.Millisecond)
+	windowMS := float64(s.opts.Batching.Window) / float64(time.Millisecond)
 	worstMS, expectedMS := sla.AdmittedLatencyBoundsMS(
 		windowMS, cold.MakespanNS/1e6, warm.MakespanNS/1e6, s.backlogBatches(), s.drainWorkers())
 	return time.Duration(worstMS * float64(time.Millisecond)),
@@ -1287,7 +1300,7 @@ func (s *Server) AdmittedLatencyBounds() (worst, expected time.Duration, err err
 // does (the backlog and batch size alone exceed the budget). Like
 // ValidateSLA it uses the cache-cold service time.
 func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) {
-	rep, err := s.coldTiming(s.opts.MaxBatch)
+	rep, err := s.coldTiming(s.opts.Batching.MaxBatch)
 	if err != nil {
 		return 0, err
 	}
@@ -1305,11 +1318,11 @@ func (s *Server) MaxWindowUnderSLA(budget time.Duration) (time.Duration, error) 
 // per worker; in pipelined mode the dispatch channel, the dispatcher's hand
 // and the plane ring bound the in-flight batches instead.
 func (s *Server) backlogBatches() int {
-	queued := (s.opts.QueueDepth + s.opts.MaxBatch - 1) / s.opts.MaxBatch
+	queued := (s.opts.Admission.QueueDepth + s.opts.Batching.MaxBatch - 1) / s.opts.Batching.MaxBatch
 	if s.pipe != nil {
-		return queued + 2*s.opts.Workers + 1 + s.opts.PipelineDepth
+		return queued + 2*s.opts.Pipeline.Workers + 1 + s.opts.Pipeline.Depth
 	}
-	return queued + 3*s.opts.Workers
+	return queued + 3*s.opts.Pipeline.Workers
 }
 
 // drainWorkers is the batch-drain parallelism the SLA backlog model divides
@@ -1321,5 +1334,5 @@ func (s *Server) drainWorkers() int {
 	if s.pipe != nil {
 		return 1
 	}
-	return s.opts.Workers
+	return s.opts.Pipeline.Workers
 }

@@ -57,6 +57,18 @@ func fullStats() Stats {
 			HotReads: 800, ColdReads: 200, HotReadRate: 0.8,
 			Promotions: 50, Demotions: 10, Sweeps: 5, Prefetches: 40, BoundNS: 1500,
 		},
+		Router: &RouterStats{
+			Policy: "affinity", Replicas: 3, Drained: 1,
+			Decisions: []PolicyDecisionStats{
+				{Policy: "round-robin", Total: 500, PerSec: 100},
+			},
+			PerReplica: []ReplicaStats{
+				{ID: 1, State: "active", Routed: 400, InFlight: 2,
+					QueueDepth: 3, PipelineInFlight: 1, LoadScore: 67, Occupancy: 0.3,
+					Queries: 400, QPS: 900, P99US: 210, HitRate: 0.85},
+			},
+			AggregateHitRate: 0.9, BaselineHitRate: 0.7, HitRateDelta: 0.2,
+		},
 		Trace: TraceStats{RingSize: 4096, SampleEvery: 8, Arrivals: 1000, Recorded: 125},
 		LatencyHistUS: metrics.HistogramSnapshot{
 			Count: 1000, Mean: 100, Min: 50, Max: 300, P50: 90, P95: 150, P99: 200, P999: 280,
@@ -179,6 +191,30 @@ var statsSchema = []string{
 	"pipeline.stages.p99_service_us",
 	"qps",
 	"queries",
+	"router",
+	"router.aggregate_hit_rate",
+	"router.baseline_hit_rate",
+	"router.decisions",
+	"router.decisions.per_sec",
+	"router.decisions.policy",
+	"router.decisions.total",
+	"router.drained",
+	"router.hit_rate_delta",
+	"router.per_replica",
+	"router.per_replica.hit_rate",
+	"router.per_replica.id",
+	"router.per_replica.in_flight",
+	"router.per_replica.load_score",
+	"router.per_replica.occupancy",
+	"router.per_replica.p99_us",
+	"router.per_replica.pipeline_in_flight",
+	"router.per_replica.qps",
+	"router.per_replica.queries",
+	"router.per_replica.queue_depth",
+	"router.per_replica.routed",
+	"router.per_replica.state",
+	"router.policy",
+	"router.replicas",
 	"tiers",
 	"tiers.bound_ns",
 	"tiers.cold_latency_ns",

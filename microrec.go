@@ -27,6 +27,12 @@
 //     partial planes merged before the FC stack runs once — bit-identical
 //     to single-engine inference, with per-shard hot-row caches, plane
 //     rings and straggler-aware merge metrics in /stats, and
+//   - the replicated serving tier (NewRouter): N independent server
+//     replicas — each a full batching/pipeline composition around its own
+//     engine — fronted by a router with pluggable policies (round-robin,
+//     least-loaded, hot-key affinity via rendezvous hashing, so N hot-row
+//     caches of size C behave like one ~N·C cache), per-replica
+//     health/drain, and hot model swap under live traffic, and
 //   - the open-loop load harness (RunLoad, SweepLoad): Poisson and
 //     trace-driven arrival processes that drive the server past saturation
 //     and locate the knee — the highest offered rate meeting the tail SLA.
@@ -61,6 +67,7 @@ import (
 	"microrec/internal/model"
 	"microrec/internal/obs"
 	"microrec/internal/placement"
+	"microrec/internal/router"
 	"microrec/internal/serving"
 	"microrec/internal/tieredstore"
 	"microrec/internal/workload"
@@ -109,9 +116,34 @@ type (
 	// drained through the staged pipeline executor (or, in fallback mode,
 	// an engine worker pool) behind response futures.
 	Server = serving.Server
-	// ServerOptions configures NewServer (batch size, flush window,
-	// pipeline depth / worker-pool fallback, worker count, shard count).
+	// ServerOptions configures NewServer. Knobs are grouped into nested
+	// sub-structs (Batching, Admission, Pipeline, Tier, Trace, Router); the
+	// flat top-level fields (MaxBatch, Window, ...) are deprecated
+	// pass-throughs kept for one release — they still work, filling the
+	// nested field they moved to, but setting both spellings to different
+	// values is a validation error.
 	ServerOptions = serving.Options
+	// BatchingOptions groups the micro-batcher knobs
+	// (ServerOptions.Batching).
+	BatchingOptions = serving.BatchingOptions
+	// AdmissionOptions groups the overload-protection knobs
+	// (ServerOptions.Admission).
+	AdmissionOptions = serving.AdmissionOptions
+	// PipelineOptions groups the batch-drain knobs (ServerOptions.Pipeline).
+	PipelineOptions = serving.PipelineOptions
+	// TierOptions groups the scatter/gather sharding knobs
+	// (ServerOptions.Tier).
+	TierOptions = serving.TierOptions
+	// TraceOptions groups the flight-recorder knobs (ServerOptions.Trace).
+	TraceOptions = serving.TraceOptions
+	// ServerRouterOptions is the per-server replica identity group
+	// (ServerOptions.Router); NewRouter stamps it on the servers it builds.
+	ServerRouterOptions = serving.RouterOptions
+	// ServingEngine is the engine seam the serving subsystem batches over:
+	// *Engine implements it, and so does any stage-compatible wrapper
+	// (HotEngine). Optional capabilities — tiered storage, prefetch, hot
+	// reload — are discovered by interface assertion, not configuration.
+	ServingEngine = serving.Engine
 	// ServeResult is one served query's prediction plus modeled-vs-wall
 	// latency.
 	ServeResult = serving.Result
@@ -137,6 +169,27 @@ type (
 	// AdmissionStats is the /stats view of the admission gate: queue
 	// pressure, shed/drop counters and the knee (capacity) estimate.
 	AdmissionStats = serving.AdmissionStats
+	// Router is the replicated serving tier: N independent servers behind
+	// one Submit seam, with pluggable routing policies, per-replica
+	// health/drain and hot model swap (NewRouter).
+	Router = router.Router
+	// RouterOptions configures NewRouter (the initial routing policy).
+	RouterOptions = router.Options
+	// RoutePolicy selects how the router picks a replica per query
+	// (RouteRoundRobin, RouteLeastLoaded, RouteAffinity).
+	RoutePolicy = router.Policy
+	// HotEngine wraps a ServingEngine so its model can be swapped in place
+	// under live traffic (NewHotEngine, Router.Reload).
+	HotEngine = router.HotEngine
+	// RouterStats is the /stats "router" section: active policy, routing
+	// decisions/sec per policy, the per-replica scoreboard and the affinity
+	// hit-rate lift.
+	RouterStats = serving.RouterStats
+	// ReplicaStats is one replica's row in RouterStats.PerReplica.
+	ReplicaStats = serving.ReplicaStats
+	// PolicyDecisionStats is one policy's routing-decision volume in
+	// RouterStats.Decisions.
+	PolicyDecisionStats = serving.PolicyDecisionStats
 	// BuildInfo records the binary's provenance — git revision and
 	// cleanliness, Go toolchain, kernel dispatch — as carried in the
 	// build_info section of /stats, /metrics and the BENCH JSONs.
@@ -155,6 +208,9 @@ type (
 	// Arrivals is an open-loop arrival process (inter-arrival gaps) for
 	// the load harness.
 	Arrivals = loadgen.Arrivals
+	// LoadTarget is the slice of the serving tier the load harness drives:
+	// a *Server directly, or a *Router fronting N of them.
+	LoadTarget = loadgen.Target
 	// LoadOptions configures one open-loop load run (RunLoad).
 	LoadOptions = loadgen.Options
 	// LoadResult summarises one open-loop run: admitted/shed/expired
@@ -191,6 +247,29 @@ var ErrOverloaded = serving.ErrOverloaded
 // an earlier context deadline) passed before service: dropped at plane-fill
 // time without spending gather/GEMM work, or completed too late to matter.
 var ErrExpired = serving.ErrExpired
+
+// ErrNoReplicas is Router.Submit's response when the tier has no active
+// replicas (all drained or none added).
+var ErrNoReplicas = router.ErrNoReplicas
+
+// ErrUnknownReplica reports a Drain/Swap/Reload naming a replica id the
+// router does not hold.
+var ErrUnknownReplica = router.ErrUnknownReplica
+
+// Routing policies of the replicated serving tier (NewRouter, serve/loadtest
+// -route).
+const (
+	// RouteRoundRobin cycles through active replicas — the oblivious
+	// baseline.
+	RouteRoundRobin = router.RoundRobin
+	// RouteLeastLoaded routes to the replica with the smallest live load
+	// score (queue depth + in-flight batch weight).
+	RouteLeastLoaded = router.LeastLoaded
+	// RouteAffinity routes by a rendezvous hash of the query's embedding
+	// keys, so each replica's hot-row cache specializes on a slice of the
+	// key space (N caches of size C ≈ one N·C cache).
+	RouteAffinity = router.Affinity
+)
 
 // Workload distributions.
 const (
@@ -389,6 +468,27 @@ func NewServer(eng *Engine, opts ServerOptions) (*Server, error) {
 	return serving.New(eng, opts)
 }
 
+// NewRouter builds an empty replicated serving tier with the given routing
+// policy (zero value: round-robin). Replicas are added with Router.Add —
+// each a full serving composition around its own engine — and can be
+// drained, swapped to a new model, or hot-reloaded under live traffic. The
+// router satisfies the same Submit/Stats/Trace/WriteMetrics surface as a
+// single Server, so the HTTP mux and the load harness drive either.
+func NewRouter(opts RouterOptions) (*Router, error) { return router.New(opts) }
+
+// ParseRoutePolicy resolves a -route flag value to a RoutePolicy.
+func ParseRoutePolicy(s string) (RoutePolicy, error) { return router.ParsePolicy(s) }
+
+// RoutePolicies lists the supported routing policies.
+func RoutePolicies() []RoutePolicy { return router.Policies() }
+
+// NewHotEngine wraps an engine for in-place model reload: the wrapper is a
+// full ServingEngine whose delegate Router.Reload (or any holder of the
+// serving.Reloadable capability) can swap under live traffic. The
+// replacement must be timing- and geometry-compatible (refreshed
+// parameters, not a different architecture).
+func NewHotEngine(eng ServingEngine) (*HotEngine, error) { return router.NewHotEngine(eng) }
+
 // NewGenerator builds a deterministic workload generator.
 func NewGenerator(spec *Spec, dist workload.Distribution, seed int64) (*Generator, error) {
 	return workload.NewGenerator(spec, dist, seed)
@@ -410,13 +510,13 @@ func NewTraceArrivals(gaps []time.Duration) (Arrivals, error) {
 // the arrival process's schedule regardless of completions (the measurement
 // discipline under which overload and tail collapse are actually visible),
 // each bounded by the SLA as its context deadline.
-func RunLoad(srv *Server, queries []Query, arr Arrivals, opts LoadOptions) (LoadResult, error) {
-	return loadgen.Run(srv, queries, arr, opts)
+func RunLoad(target LoadTarget, queries []Query, arr Arrivals, opts LoadOptions) (LoadResult, error) {
+	return loadgen.Run(target, queries, arr, opts)
 }
 
 // SweepLoad runs one open-loop run per load level and locates the knee: the
 // highest offered rate whose admitted p99 still meets the SLA with losses
 // within tolerance. `microrec loadtest` is a CLI wrapper around this.
-func SweepLoad(srv *Server, queries []Query, opts LoadSweepOptions) (LoadSweepResult, error) {
-	return loadgen.Sweep(srv, queries, opts)
+func SweepLoad(target LoadTarget, queries []Query, opts LoadSweepOptions) (LoadSweepResult, error) {
+	return loadgen.Sweep(target, queries, opts)
 }

@@ -1,0 +1,74 @@
+package microrec_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"microrec"
+)
+
+// TestDeprecatedFlatServerOptions pins the one-release compatibility window
+// of the options regroup: the flat pre-regroup spelling of every
+// ServerOptions knob must keep compiling, keep building a server, and land
+// in the nested group it moved to — with the flat mirror still readable
+// afterwards, so callers migrating field by field see one coherent value.
+func TestDeprecatedFlatServerOptions(t *testing.T) {
+	spec := microrec.SmallProductionModel()
+	eng, err := microrec.NewEngine(spec, microrec.EngineOptions{Seed: 1, MaxRowsPerTable: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch:      16,
+		Window:        300 * time.Microsecond,
+		Workers:       2,
+		QueueDepth:    48,
+		StatsWindow:   512,
+		PipelineDepth: 4,
+		SLA:           50 * time.Millisecond,
+		Shed:          true,
+		Shards:        1,
+		TraceSample:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got := srv.Options()
+	if got.Batching.MaxBatch != 16 || got.Batching.Window != 300*time.Microsecond || got.Batching.StatsWindow != 512 {
+		t.Errorf("flat batching knobs did not land in Batching: %+v", got.Batching)
+	}
+	if got.Admission.QueueDepth != 48 || !got.Admission.Shed || got.Admission.SLA != 50*time.Millisecond {
+		t.Errorf("flat admission knobs did not land in Admission: %+v", got.Admission)
+	}
+	if got.Pipeline.Depth != 4 || got.Pipeline.Workers != 2 {
+		t.Errorf("flat pipeline knobs did not land in Pipeline: %+v", got.Pipeline)
+	}
+	if got.Tier.Shards != 1 || got.Trace.Sample != 3 {
+		t.Errorf("flat tier/trace knobs did not land: tier %+v trace %+v", got.Tier, got.Trace)
+	}
+	// The deprecated mirror stays readable for the compatibility window.
+	if got.MaxBatch != 16 || got.QueueDepth != 48 || got.PipelineDepth != 4 {
+		t.Errorf("flat mirror not maintained: MaxBatch=%d QueueDepth=%d PipelineDepth=%d",
+			got.MaxBatch, got.QueueDepth, got.PipelineDepth)
+	}
+
+	q := make(microrec.Query, len(spec.Tables))
+	for i, tb := range spec.Tables {
+		q[i] = make([]int64, tb.Lookups)
+	}
+	if _, err := srv.Submit(context.Background(), q); err != nil {
+		t.Fatalf("flat-configured server cannot serve: %v", err)
+	}
+
+	// Setting both spellings to different values is a configuration
+	// contradiction, not a silent precedence rule.
+	if _, err := microrec.NewServer(eng, microrec.ServerOptions{
+		MaxBatch: 16,
+		Batching: microrec.BatchingOptions{MaxBatch: 32},
+	}); err == nil {
+		t.Fatal("conflicting flat and nested MaxBatch accepted")
+	}
+}
